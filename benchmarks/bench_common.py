@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_eXX_*.py`` file regenerates one table/figure from the
+evaluation index in DESIGN.md: it computes the experiment's rows,
+prints them as an aligned table (the "figure"), and times one
+representative kernel through pytest-benchmark. Corpora are cached
+per-process so the harness doesn't regenerate identical worlds.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.quality import render_table
+from repro.synth import (
+    CorpusConfig,
+    WorldConfig,
+    generate_dataset,
+    generate_world,
+)
+
+__all__ = ["emit", "linkage_corpus", "render_table"]
+
+
+def emit(
+    capsys, title: str, headers, rows, note: str = "", float_digits: int = 3
+) -> None:
+    """Print an experiment table to the real terminal.
+
+    ``capsys.disabled()`` bypasses pytest capture so the table is
+    visible in normal runs and in the tee'd bench log.
+    """
+    table = render_table(headers, rows, title=title, float_digits=float_digits)
+    with capsys.disabled():
+        print()
+        print(table)
+        if note:
+            print(note)
+
+
+@lru_cache(maxsize=None)
+def linkage_corpus(
+    n_entities: int = 60,
+    n_sources: int = 12,
+    typo_rate: float = 0.05,
+    seed: int = 3,
+):
+    """A standard product corpus for the linkage experiments (cached)."""
+    world = generate_world(
+        WorldConfig(
+            categories=("camera", "notebook"),
+            entities_per_category=n_entities,
+            seed=seed,
+        )
+    )
+    return generate_dataset(
+        world,
+        CorpusConfig(
+            n_sources=n_sources,
+            dialect_noise=0.6,
+            typo_rate=typo_rate,
+            seed=seed + 1,
+        ),
+    )

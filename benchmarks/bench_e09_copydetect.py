@@ -1,0 +1,90 @@
+"""E9 — Copy-detection precision/recall vs copy rate (Dong et al.).
+
+Copy detection keys on shared *false* values; the more faithfully a
+copier replicates its parent, the more shared false values betray it.
+With limited overlap (100 items) and fairly accurate sources, recall
+climbs from ~0 at copy rate 0.1 to 1.0 by copy rate ~0.6. The
+"direct" precision dip at high rates is copier-sibling pairs — truly
+dependent through their shared parent — which the sibling-aware metric
+credits.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_common import emit
+
+from repro.fusion import CopyDetector, VotingFuser
+from repro.quality import copy_detection_quality
+from repro.synth import ClaimWorldConfig, generate_claims
+
+COPY_RATES = (0.1, 0.25, 0.4, 0.6, 0.8, 0.95)
+SEEDS = (13, 14, 15)
+DETECTOR = dict(copy_rate=0.6, n_false_values=8)  # blind to the true rate
+
+
+def run_rate(copy_rate: float, seed: int):
+    planted = generate_claims(
+        ClaimWorldConfig(
+            n_items=100,
+            n_independent=8,
+            n_copiers=6,
+            accuracy_range=(0.7, 0.9),
+            copy_rate=copy_rate,
+            n_false_values=8,
+            seed=seed,
+        )
+    )
+    truths = VotingFuser().fuse(planted.claims).chosen
+    accuracies = {s: 0.8 for s in planted.claims.sources()}
+    detected = CopyDetector(**DETECTOR).detect(
+        planted.claims, truths, accuracies
+    )
+    direct = copy_detection_quality(detected, planted.copier_of)
+    with_siblings = copy_detection_quality(
+        detected, planted.copier_of, include_siblings=True
+    )
+    return planted, direct, with_siblings
+
+
+def bench_e09_copy_detection(benchmark, capsys):
+    rows = []
+    recalls = []
+    for copy_rate in COPY_RATES:
+        direct_p = direct_r = sib_p = sib_r = 0.0
+        for seed in SEEDS:
+            __, direct, with_siblings = run_rate(copy_rate, seed)
+            direct_p += direct.precision
+            direct_r += direct.recall
+            sib_p += with_siblings.precision
+            sib_r += with_siblings.recall
+        n = len(SEEDS)
+        rows.append(
+            [copy_rate, direct_p / n, direct_r / n, sib_p / n, sib_r / n]
+        )
+        recalls.append(direct_r / n)
+    planted, __, __ = run_rate(0.8, 13)
+    truths = VotingFuser().fuse(planted.claims).chosen
+    accuracies = {s: 0.8 for s in planted.claims.sources()}
+    detector = CopyDetector(**DETECTOR)
+    benchmark(lambda: detector.detect(planted.claims, truths, accuracies))
+    emit(
+        capsys,
+        "E9: copy detection P/R vs planted copy rate "
+        "(6 copiers among 14 sources, 100 shared items, detector blind "
+        "to the true rate; 'sibling' = copiers sharing a parent count as "
+        "truly dependent)",
+        ["copy rate", "P direct", "R direct", "P w/siblings", "R w/siblings"],
+        rows,
+        note=(
+            "Expected shape (Dong et al.): recall rises with copy rate — "
+            "faithful copiers leak more shared false values; near-zero "
+            "recall for barely-copying sources is correct behaviour."
+        ),
+    )
+    assert recalls[0] < 0.2, "barely-copying sources are (rightly) invisible"
+    assert recalls[-1] > 0.9, "high copy rates must be detected"
+    assert recalls == sorted(recalls), "recall must rise with copy rate"

@@ -1,0 +1,101 @@
+"""E18 (extension) — Active learning for linkage: labels where they count.
+
+Humans in the loop are the tutorial's recipe for precision without
+losing recall; the question is where to spend the label budget.
+Uncertainty sampling (query pairs nearest the decision boundary, with
+a little exploration) reaches near-optimal F1 with a fraction of the
+labels random sampling needs — and stays stable under crowd-style
+label noise.
+"""
+
+from __future__ import annotations
+
+import sys
+from functools import lru_cache
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_common import emit, linkage_corpus
+
+from repro.linkage import (
+    ActiveThresholdLearner,
+    TokenBlocker,
+    default_product_comparator,
+    noisy_oracle,
+)
+from repro.quality import pair_quality
+
+ROUNDS = 6
+BATCH = 10
+SEEDS = (2, 3, 4)
+
+
+@lru_cache(maxsize=None)
+def vectors_and_truth():
+    dataset = linkage_corpus(n_entities=50, n_sources=10, seed=7)
+    records = list(dataset.records())
+    by_id = {record.record_id: record for record in records}
+    comparator = default_product_comparator()
+    candidates = TokenBlocker(max_block_size=50).block(records)
+    vectors = tuple(
+        comparator.compare(by_id[a], by_id[b])
+        for a, b in (
+            sorted(pair)
+            for pair in sorted(candidates.candidate_pairs(), key=sorted)
+        )
+    )
+    return vectors, dataset.ground_truth
+
+
+def curve(strategy: str, noise: float):
+    vectors, truth = vectors_and_truth()
+    oracle = noisy_oracle(truth.are_match, noise_rate=noise, seed=1)
+    averaged = [0.0] * ROUNDS
+    for seed in SEEDS:
+        learner = ActiveThresholdLearner(
+            list(vectors), batch_size=BATCH, strategy=strategy, seed=seed
+        )
+        for round_index in range(ROUNDS):
+            learner.run_round(oracle)
+            quality = pair_quality(learner.predict_matches(), truth)
+            averaged[round_index] += quality.f1 / len(SEEDS)
+    return averaged
+
+
+def bench_e18_active_learning(benchmark, capsys):
+    rows = []
+    curves = {}
+    for noise in (0.0, 0.1):
+        for strategy in ("uncertainty", "random"):
+            f1_curve = curve(strategy, noise)
+            curves[(strategy, noise)] = f1_curve
+            rows.append(
+                [f"{strategy} @ noise {noise}"]
+                + [f1_curve[i] for i in range(ROUNDS)]
+            )
+    vectors, truth = vectors_and_truth()
+    oracle = noisy_oracle(truth.are_match, noise_rate=0.05, seed=1)
+
+    def kernel():
+        learner = ActiveThresholdLearner(list(vectors), batch_size=BATCH)
+        learner.run_round(oracle)
+
+    benchmark(kernel)
+    emit(
+        capsys,
+        "E18 (extension): pair-F1 vs labeling rounds "
+        f"({BATCH} oracle queries per round, {len(vectors)} candidates)",
+        ["strategy"] + [f"{(i + 1) * BATCH} labels" for i in range(ROUNDS)],
+        rows,
+        note=(
+            "Expected shape: uncertainty sampling dominates random at "
+            "small budgets and stays stable under 10% label noise."
+        ),
+    )
+    for noise in (0.0, 0.1):
+        uncertainty = curves[("uncertainty", noise)]
+        rand = curves[("random", noise)]
+        assert uncertainty[1] > rand[1] - 0.02, (
+            f"uncertainty must lead early at noise {noise}"
+        )
+        assert uncertainty[-1] > 0.85, "must converge to good F1"

@@ -1,0 +1,96 @@
+"""E19 — The attribute long tail (the variety dimension, quantified).
+
+Web-extraction studies report that heterogeneity is dominated by a
+long tail of attribute names: of tens of thousands of distinct names,
+almost all appear in a tiny fraction of sources, while even the single
+most popular name appears in well under half of them (≈38% in the
+product-specification corpora). This bench generates corpora at
+increasing source counts and custom-attribute rates and checks the
+synthetic substrate reproduces those statistics.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_common import emit
+
+from repro.quality import attribute_tail_statistics
+from repro.synth import (
+    CorpusConfig,
+    WorldConfig,
+    generate_dataset,
+    generate_world,
+)
+
+CATEGORIES = ("camera", "notebook", "headphone", "monitor", "television")
+
+
+def corpus(n_sources: int, max_custom: int):
+    world = generate_world(
+        WorldConfig(
+            categories=CATEGORIES, entities_per_category=40, seed=3
+        )
+    )
+    return generate_dataset(
+        world,
+        CorpusConfig(
+            n_sources=n_sources,
+            dialect_noise=0.7,
+            max_custom_attributes=max_custom,
+            min_source_size=5,
+            max_source_size=60,
+            seed=5,
+        ),
+    )
+
+
+def bench_e19_attribute_long_tail(benchmark, capsys):
+    rows = []
+    stats_by_setting = {}
+    for n_sources, max_custom in ((20, 0), (20, 6), (60, 6), (100, 6)):
+        dataset = corpus(n_sources, max_custom)
+        stats = attribute_tail_statistics(dataset)
+        stats_by_setting[(n_sources, max_custom)] = stats
+        rows.append(
+            [
+                n_sources,
+                max_custom,
+                stats.n_attribute_names,
+                stats.fraction_in_one_source,
+                stats.fraction_in_at_most_10pct,
+                stats.top_attribute_source_fraction,
+            ]
+        )
+    dataset = corpus(60, 6)
+    benchmark(lambda: attribute_tail_statistics(dataset))
+    emit(
+        capsys,
+        "E19: the attribute long tail across corpus scales",
+        [
+            "sources", "max custom", "distinct names", "share in 1 source",
+            "share in ≤10%", "top-name coverage",
+        ],
+        rows,
+        note=(
+            "Expected shape (web studies): the overwhelming majority of "
+            "attribute names sit in the tail; even the most popular name "
+            "covers well under half the sources (the web corpus reported "
+            "~38%). Custom attributes deepen the tail; more sources "
+            "deepen it further."
+        ),
+    )
+    big = stats_by_setting[(100, 6)]
+    assert big.fraction_in_at_most_10pct > 0.7, "the tail must dominate"
+    assert big.top_attribute_source_fraction < 0.5, (
+        "even the most popular attribute is a minority taste"
+    )
+    without = stats_by_setting[(20, 0)]
+    with_custom = stats_by_setting[(20, 6)]
+    assert with_custom.n_attribute_names > without.n_attribute_names
+    assert (
+        with_custom.fraction_in_one_source
+        > without.fraction_in_one_source
+    ), "custom attributes must deepen the tail"

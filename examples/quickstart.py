@@ -1,0 +1,79 @@
+"""Quickstart: integrate a messy multi-source product corpus in ~20 lines.
+
+Builds a synthetic web-like corpus (heterogeneous schemas, unit
+variation, typos, wrong values, copier sites), runs the full big data
+integration pipeline — schema alignment → record linkage → data
+fusion — and prints the fused entity table plus per-stage quality
+against the generator's ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BDIPipeline, FourVKnobs, PipelineConfig, build_corpus
+from repro.quality import render_kv, render_table
+
+
+def main() -> None:
+    # 1. A corpus dialed by the four big-data dimensions.
+    corpus = build_corpus(
+        FourVKnobs(volume=0.08, variety=0.5, veracity=0.4, seed=7)
+    )
+    dataset = corpus.dataset
+    print(
+        render_kv(
+            [
+                ("sources", len(dataset)),
+                ("records", dataset.n_records),
+                ("distinct attribute names", len(dataset.attribute_usage())),
+                ("copier sites planted", len(corpus.copier_of)),
+            ],
+            title="corpus",
+        )
+    )
+
+    # 2. The pipeline: schema alignment, linkage (similarity +
+    #    identifier joins), accuracy-aware fusion.
+    pipeline = BDIPipeline(PipelineConfig(fusion="accuvote"))
+    result = pipeline.run(dataset)
+
+    # 3. A peek at the fused entity table. The mediated schema names
+    #    attributes by their most common source dialect, so look them
+    #    up by keyword rather than by an assumed canonical name.
+    def lookup(attributes: dict[str, str], *keywords: str) -> str:
+        for key, value in attributes.items():
+            if any(keyword in key for keyword in keywords):
+                return value
+        return "?"
+
+    print("\nfused entities (first 5):")
+    rows = []
+    for cluster_id, attributes in list(result.entity_table.items())[:5]:
+        rows.append(
+            [
+                cluster_id.split("/")[-1],
+                lookup(attributes, "name", "title", "model"),
+                lookup(attributes, "brand", "manufacturer", "make"),
+                lookup(attributes, "color", "colour", "finish"),
+            ]
+        )
+    print(render_table(["cluster", "name", "brand", "color"], rows))
+
+    # 4. Exact quality, thanks to the generator's ground truth.
+    report = pipeline.evaluate(dataset, result)
+    print()
+    print(
+        render_kv(
+            [
+                ("schema alignment F1", round(report.schema_f1, 3)),
+                ("linkage pairwise F1", round(report.linkage_pairwise_f1, 3)),
+                ("linkage B-cubed F1", round(report.linkage_bcubed_f1, 3)),
+                ("fusion accuracy", round(report.fusion_accuracy, 3)),
+                ("entities found", report.n_clusters),
+            ],
+            title="pipeline quality",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Source shopping: how many sources are worth integrating?
+
+Integration is not free — each new source costs crawling, wrapper
+maintenance, and cleaning. This example profiles a pool of sources,
+ranks them by marginal fusion gain, and shows the "less is more"
+curve: accuracy saturates after a handful of well-chosen sources while
+cumulative profit (gain − cost) peaks and then *declines*.
+
+Run:  python examples/source_shopping.py
+"""
+
+from repro.fusion import VotingFuser
+from repro.quality import render_kv, render_table
+from repro.selection import (
+    GreedySourceSelector,
+    baseline_order,
+    profile_sources,
+    true_accuracy,
+)
+from repro.synth import ClaimWorldConfig, generate_claims
+
+
+def main() -> None:
+    planted = generate_claims(
+        ClaimWorldConfig(
+            n_items=200,
+            n_independent=18,
+            accuracy_range=(0.35, 0.95),
+            coverage=0.7,
+            n_false_values=4,
+            seed=77,
+        )
+    )
+    claims = planted.claims
+
+    # Profile the pool (accuracy bootstrap: agreement with the vote).
+    stats = profile_sources(claims)
+    preview = sorted(
+        stats.values(), key=lambda s: -s.expected_correct_items
+    )[:5]
+    print(render_table(
+        ["source", "coverage", "est. accuracy", "utility"],
+        [
+            [s.source_id, s.coverage, s.accuracy_estimate,
+             s.expected_correct_items]
+            for s in preview
+        ],
+        title="top-5 sources by standalone utility",
+    ))
+
+    # Greedy selection with an integration cost per source.
+    cost_weight = 0.012
+    selector = GreedySourceSelector(
+        VotingFuser(), cost_weight=cost_weight
+    )
+    selection = selector.select(claims)
+    profits = selection.cumulative_profit()
+    random_order = baseline_order(claims, "random", seed=5)
+
+    rows = []
+    for k in (1, 2, 4, 6, 9, 12, 18):
+        rows.append([
+            k,
+            true_accuracy(claims, list(selection.order[:k]),
+                          VotingFuser(), planted.truth),
+            true_accuracy(claims, random_order[:k],
+                          VotingFuser(), planted.truth),
+            profits[k - 1],
+        ])
+    print()
+    print(render_table(
+        ["k sources", "greedy accuracy", "random accuracy", "greedy profit"],
+        rows,
+        title=f"less is more (integration cost {cost_weight}/source)",
+    ))
+
+    peak = max(range(len(profits)), key=profits.__getitem__) + 1
+    print()
+    print(render_kv(
+        [
+            ("profit-optimal stopping point", f"{peak} sources"),
+            ("accuracy at stopping point",
+             round(true_accuracy(claims, list(selection.order[:peak]),
+                                 VotingFuser(), planted.truth), 3)),
+            ("accuracy integrating everything",
+             round(true_accuracy(claims, list(selection.order),
+                                 VotingFuser(), planted.truth), 3)),
+        ],
+        title="the less-is-more decision",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the `wheel` package,
+so editable installs go through `setup.py develop` instead of PEP 660."""
+
+from setuptools import setup
+
+setup()

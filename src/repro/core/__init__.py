@@ -1,0 +1,31 @@
+"""Core data model: records, sources, datasets, ground truth, pipeline."""
+
+from repro.core.dataset import Dataset
+from repro.core.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    DataModelError,
+    EmptyInputError,
+    GroundTruthError,
+    ReproError,
+    UnknownRecordError,
+    UnknownSourceError,
+)
+from repro.core.ground_truth import GroundTruth
+from repro.core.record import Record
+from repro.core.source import Source
+
+__all__ = [
+    "ConfigurationError",
+    "ConvergenceError",
+    "DataModelError",
+    "Dataset",
+    "EmptyInputError",
+    "GroundTruth",
+    "GroundTruthError",
+    "Record",
+    "ReproError",
+    "Source",
+    "UnknownRecordError",
+    "UnknownSourceError",
+]

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch a single base class at an
+integration boundary while still discriminating finer-grained failures
+when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent parameters."""
+
+
+class DataModelError(ReproError):
+    """A record, source, or dataset violates a structural invariant."""
+
+
+class UnknownSourceError(DataModelError):
+    """A record or claim refers to a source id absent from the dataset."""
+
+    def __init__(self, source_id: str) -> None:
+        super().__init__(f"unknown source id: {source_id!r}")
+        self.source_id = source_id
+
+
+class UnknownRecordError(DataModelError):
+    """An operation referenced a record id absent from the dataset."""
+
+    def __init__(self, record_id: str) -> None:
+        super().__init__(f"unknown record id: {record_id!r}")
+        self.record_id = record_id
+
+
+class GroundTruthError(ReproError):
+    """Ground truth is missing or inconsistent with the dataset."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration cap."""
+
+    def __init__(self, algorithm: str, iterations: int) -> None:
+        super().__init__(
+            f"{algorithm} did not converge within {iterations} iterations"
+        )
+        self.algorithm = algorithm
+        self.iterations = iterations
+
+
+class EmptyInputError(ReproError):
+    """An operation that requires data was invoked on an empty input."""

@@ -1,0 +1,142 @@
+"""Ground truth for evaluating every stage of the pipeline.
+
+The synthetic-world generator knows exactly which entity each record
+describes, which mediated attribute each source attribute renders, and
+which value of each (entity, attribute) data item is true. This module
+holds that knowledge in one queryable object so the quality metrics in
+:mod:`repro.quality` can score linkage, schema alignment, and fusion
+against exact answers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+from repro.core.errors import GroundTruthError
+
+__all__ = ["GroundTruth"]
+
+
+class GroundTruth:
+    """Exact answers for linkage, schema alignment, and fusion.
+
+    Parameters
+    ----------
+    record_to_entity:
+        Maps each record id to the id of the real-world entity it
+        describes.
+    true_values:
+        Maps ``(entity_id, mediated_attribute)`` data items to their true
+        value. Optional; required only for fusion evaluation.
+    attribute_to_mediated:
+        Maps ``(source_id, source_attribute)`` to the mediated attribute
+        it renders. Optional; required only for schema evaluation.
+    """
+
+    def __init__(
+        self,
+        record_to_entity: Mapping[str, str],
+        true_values: Mapping[tuple[str, str], str] | None = None,
+        attribute_to_mediated: Mapping[tuple[str, str], str] | None = None,
+    ) -> None:
+        self._record_to_entity = dict(record_to_entity)
+        self._true_values = dict(true_values or {})
+        self._attribute_to_mediated = dict(attribute_to_mediated or {})
+        self._entity_to_records: dict[str, set[str]] = defaultdict(set)
+        for record_id, entity_id in self._record_to_entity.items():
+            self._entity_to_records[entity_id].add(record_id)
+
+    @property
+    def record_to_entity(self) -> dict[str, str]:
+        """Copy of the record id → entity id mapping."""
+        return dict(self._record_to_entity)
+
+    @property
+    def entities(self) -> set[str]:
+        """All entity ids that have at least one record."""
+        return set(self._entity_to_records)
+
+    def entity_of(self, record_id: str) -> str:
+        """Return the entity described by ``record_id``."""
+        try:
+            return self._record_to_entity[record_id]
+        except KeyError:
+            raise GroundTruthError(
+                f"no ground-truth entity for record {record_id!r}"
+            ) from None
+
+    def records_of(self, entity_id: str) -> frozenset[str]:
+        """Return the ids of all records describing ``entity_id``."""
+        return frozenset(self._entity_to_records.get(entity_id, frozenset()))
+
+    def are_match(self, record_a: str, record_b: str) -> bool:
+        """True iff both records describe the same entity."""
+        return self.entity_of(record_a) == self.entity_of(record_b)
+
+    def matching_pairs(self) -> set[frozenset[str]]:
+        """All unordered record-id pairs that are true matches."""
+        pairs: set[frozenset[str]] = set()
+        for records in self._entity_to_records.values():
+            ordered = sorted(records)
+            for i, left in enumerate(ordered):
+                for right in ordered[i + 1 :]:
+                    pairs.add(frozenset((left, right)))
+        return pairs
+
+    def true_clusters(self) -> list[frozenset[str]]:
+        """Record-id clusters, one per entity, sorted for determinism."""
+        return [
+            frozenset(records)
+            for _, records in sorted(self._entity_to_records.items())
+        ]
+
+    def true_value(self, entity_id: str, attribute: str) -> str | None:
+        """The true value of a data item, or ``None`` if not recorded."""
+        return self._true_values.get((entity_id, attribute))
+
+    @property
+    def true_values(self) -> dict[tuple[str, str], str]:
+        """Copy of the (entity, attribute) → true value mapping."""
+        return dict(self._true_values)
+
+    def mediated_attribute(
+        self, source_id: str, source_attribute: str
+    ) -> str | None:
+        """The mediated attribute behind a source attribute, if recorded."""
+        return self._attribute_to_mediated.get((source_id, source_attribute))
+
+    @property
+    def attribute_to_mediated(self) -> dict[tuple[str, str], str]:
+        """Copy of the (source, attribute) → mediated attribute mapping."""
+        return dict(self._attribute_to_mediated)
+
+    def restricted_to(self, record_ids: Iterable[str]) -> "GroundTruth":
+        """Ground truth projected onto a subset of records.
+
+        Useful when evaluating a pipeline stage that only saw part of the
+        corpus (e.g. one update batch in incremental linkage).
+        """
+        keep = set(record_ids)
+        unknown = keep - self._record_to_entity.keys()
+        if unknown:
+            sample = sorted(unknown)[:3]
+            raise GroundTruthError(
+                f"records absent from ground truth: {sample} "
+                f"({len(unknown)} total)"
+            )
+        return GroundTruth(
+            {r: e for r, e in self._record_to_entity.items() if r in keep},
+            self._true_values,
+            self._attribute_to_mediated,
+        )
+
+    def __len__(self) -> int:
+        return len(self._record_to_entity)
+
+    def __repr__(self) -> str:
+        return (
+            f"GroundTruth(records={len(self._record_to_entity)}, "
+            f"entities={len(self._entity_to_records)}, "
+            f"data_items={len(self._true_values)})"
+        )

@@ -1,0 +1,119 @@
+"""The :class:`Source` — a web source contributing records.
+
+In big data integration the *source*, not the record, is the natural
+unit of trust, coverage, and cost: fusion estimates per-source accuracy,
+copy detection reasons about per-source dependence, and source selection
+decides which sources are worth integrating at all. A :class:`Source`
+therefore groups the records one origin publishes and carries the
+source-level metadata those stages consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import DataModelError
+from repro.core.record import Record
+
+__all__ = ["Source"]
+
+
+class Source:
+    """A collection of records published by one origin.
+
+    Parameters
+    ----------
+    source_id:
+        Unique source identifier (e.g. a hostname).
+    records:
+        The records this source publishes. Every record's ``source_id``
+        must equal ``source_id``.
+    cost:
+        Integration cost of this source (crawl/clean/license effort),
+        used by source selection. Defaults to ``1.0``.
+    metadata:
+        Free-form descriptive fields (category, locale, …). Kept out of
+        the algorithmic path; useful for reporting.
+    """
+
+    __slots__ = ("_source_id", "_records", "_by_id", "_cost", "_metadata")
+
+    def __init__(
+        self,
+        source_id: str,
+        records: Iterable[Record] = (),
+        cost: float = 1.0,
+        metadata: Mapping[str, str] | None = None,
+    ) -> None:
+        if not source_id:
+            raise DataModelError("source_id must be a non-empty string")
+        if cost < 0:
+            raise DataModelError(f"cost must be non-negative, got {cost}")
+        self._source_id = source_id
+        self._records: list[Record] = []
+        self._by_id: dict[str, Record] = {}
+        self._cost = float(cost)
+        self._metadata = dict(metadata or {})
+        for record in records:
+            self.add(record)
+
+    @property
+    def source_id(self) -> str:
+        """Unique identifier of this source."""
+        return self._source_id
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        """The records this source publishes, in insertion order."""
+        return tuple(self._records)
+
+    @property
+    def cost(self) -> float:
+        """Integration cost used by source selection."""
+        return self._cost
+
+    @property
+    def metadata(self) -> dict[str, str]:
+        """Copy of the free-form metadata mapping."""
+        return dict(self._metadata)
+
+    def add(self, record: Record) -> None:
+        """Add ``record``, enforcing source consistency and id uniqueness."""
+        if record.source_id != self._source_id:
+            raise DataModelError(
+                f"record {record.record_id!r} belongs to source "
+                f"{record.source_id!r}, not {self._source_id!r}"
+            )
+        if record.record_id in self._by_id:
+            raise DataModelError(
+                f"duplicate record id {record.record_id!r} in source "
+                f"{self._source_id!r}"
+            )
+        self._records.append(record)
+        self._by_id[record.record_id] = record
+
+    def get(self, record_id: str) -> Record | None:
+        """Return the record with ``record_id``, or ``None`` if absent."""
+        return self._by_id.get(record_id)
+
+    def attribute_names(self) -> set[str]:
+        """The union of attribute names used by this source's records."""
+        names: set[str] = set()
+        for record in self._records:
+            names.update(record.attributes)
+        return names
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._by_id
+
+    def __repr__(self) -> str:
+        return (
+            f"Source(id={self._source_id!r}, records={len(self._records)}, "
+            f"cost={self._cost})"
+        )

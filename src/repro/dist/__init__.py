@@ -1,0 +1,39 @@
+"""Distributed-execution substrate: MapReduce engine, skew-aware
+partitioning, cluster cost model, distributed ER driver."""
+
+from repro.dist.costmodel import ClusterCostModel, PartitionCost
+from repro.dist.mapreduce import (
+    JobResult,
+    MapReduceJob,
+    ReducerMetrics,
+    hash_partitioner,
+)
+from repro.dist.parallel_linkage import (
+    DistributedRun,
+    partition_blocks,
+    run_distributed_linkage,
+)
+from repro.dist.partition import (
+    MatchTask,
+    block_split_partition,
+    naive_partition,
+    pair_range_partition,
+    task_pairs,
+)
+
+__all__ = [
+    "ClusterCostModel",
+    "DistributedRun",
+    "JobResult",
+    "MapReduceJob",
+    "MatchTask",
+    "PartitionCost",
+    "ReducerMetrics",
+    "block_split_partition",
+    "hash_partitioner",
+    "naive_partition",
+    "pair_range_partition",
+    "partition_blocks",
+    "run_distributed_linkage",
+    "task_pairs",
+]

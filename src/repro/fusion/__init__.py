@@ -1,0 +1,26 @@
+"""Data fusion: voting, truth discovery, copy detection, online fusion."""
+
+from repro.fusion.accu import AccuVote
+from repro.fusion.accucopy import AccuCopy
+from repro.fusion.base import Claim, ClaimSet, Fuser, FusionResult
+from repro.fusion.copydetect import CopyDetector
+from repro.fusion.numeric import CRHNumericFuser, parse_numeric_claims
+from repro.fusion.online import OnlineFusion, OnlineTrace
+from repro.fusion.truthfinder import TruthFinder
+from repro.fusion.voting import VotingFuser
+
+__all__ = [
+    "AccuCopy",
+    "AccuVote",
+    "Claim",
+    "ClaimSet",
+    "CRHNumericFuser",
+    "CopyDetector",
+    "Fuser",
+    "FusionResult",
+    "OnlineFusion",
+    "OnlineTrace",
+    "parse_numeric_claims",
+    "TruthFinder",
+    "VotingFuser",
+]

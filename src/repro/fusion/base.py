@@ -1,0 +1,186 @@
+"""Data model for data fusion: claims, claim sets, fusion results.
+
+Fusion operates on *data items* — (entity, attribute) pairs — and the
+*claims* sources make about them. A :class:`ClaimSet` is the triple
+store of who-said-what, indexed both by item and by source; every
+fusion algorithm consumes one and produces a :class:`FusionResult`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import DataModelError, EmptyInputError
+
+__all__ = ["Claim", "ClaimSet", "FusionResult", "Fuser"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One source's claimed value for one data item."""
+
+    source_id: str
+    item_id: str
+    value: str
+
+    def __post_init__(self) -> None:
+        if not self.source_id or not self.item_id:
+            raise DataModelError("claims need non-empty source and item ids")
+
+
+class ClaimSet:
+    """An indexed collection of claims.
+
+    Enforces that a source makes at most one claim per item (the
+    single-truth assumption of the classical fusion setting).
+    """
+
+    def __init__(self, claims: Iterable[Claim] = ()) -> None:
+        self._claims: list[Claim] = []
+        self._by_item: dict[str, list[Claim]] = defaultdict(list)
+        self._by_source: dict[str, list[Claim]] = defaultdict(list)
+        self._value: dict[tuple[str, str], str] = {}
+        for claim in claims:
+            self.add(claim)
+
+    def add(self, claim: Claim) -> None:
+        """Add a claim; rejects a second claim by the same source on the
+        same item."""
+        key = (claim.source_id, claim.item_id)
+        if key in self._value:
+            raise DataModelError(
+                f"source {claim.source_id!r} already claims item "
+                f"{claim.item_id!r}"
+            )
+        self._claims.append(claim)
+        self._by_item[claim.item_id].append(claim)
+        self._by_source[claim.source_id].append(claim)
+        self._value[key] = claim.value
+
+    @property
+    def claims(self) -> tuple[Claim, ...]:
+        """All claims in insertion order."""
+        return tuple(self._claims)
+
+    def items(self) -> tuple[str, ...]:
+        """All item ids, in first-seen order."""
+        return tuple(self._by_item)
+
+    def sources(self) -> tuple[str, ...]:
+        """All source ids, in first-seen order."""
+        return tuple(self._by_source)
+
+    def claims_for(self, item_id: str) -> tuple[Claim, ...]:
+        """All claims about ``item_id``."""
+        return tuple(self._by_item.get(item_id, ()))
+
+    def claims_by(self, source_id: str) -> tuple[Claim, ...]:
+        """All claims made by ``source_id``."""
+        return tuple(self._by_source.get(source_id, ()))
+
+    def value_of(self, source_id: str, item_id: str) -> str | None:
+        """The value ``source_id`` claims for ``item_id``, if any."""
+        return self._value.get((source_id, item_id))
+
+    def values_for(self, item_id: str) -> tuple[str, ...]:
+        """Distinct values claimed for ``item_id``, in first-seen order."""
+        seen: dict[str, None] = {}
+        for claim in self._by_item.get(item_id, ()):
+            seen.setdefault(claim.value, None)
+        return tuple(seen)
+
+    def supporters(self, item_id: str, value: str) -> tuple[str, ...]:
+        """Sources claiming ``value`` for ``item_id``."""
+        return tuple(
+            claim.source_id
+            for claim in self._by_item.get(item_id, ())
+            if claim.value == value
+        )
+
+    def shared_items(self, source_a: str, source_b: str) -> tuple[str, ...]:
+        """Items both sources claim (the overlap copy detection studies)."""
+        items_a = {claim.item_id for claim in self._by_source.get(source_a, ())}
+        return tuple(
+            claim.item_id
+            for claim in self._by_source.get(source_b, ())
+            if claim.item_id in items_a
+        )
+
+    def restricted_to_sources(self, source_ids: Iterable[str]) -> "ClaimSet":
+        """A new claim set keeping only claims by the given sources."""
+        keep = set(source_ids)
+        return ClaimSet(
+            claim for claim in self._claims if claim.source_id in keep
+        )
+
+    def require_nonempty(self) -> None:
+        """Raise :class:`EmptyInputError` when there are no claims."""
+        if not self._claims:
+            raise EmptyInputError("claim set is empty")
+
+    def __len__(self) -> int:
+        return len(self._claims)
+
+    def __iter__(self) -> Iterator[Claim]:
+        return iter(self._claims)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClaimSet(claims={len(self._claims)}, "
+            f"items={len(self._by_item)}, sources={len(self._by_source)})"
+        )
+
+
+@dataclass(frozen=True)
+class FusionResult:
+    """Output of a fusion algorithm.
+
+    Parameters
+    ----------
+    chosen:
+        The value selected as true for each item.
+    confidence:
+        The algorithm's confidence (or posterior probability) in each
+        chosen value, in ``[0, 1]`` where comparable.
+    source_accuracy:
+        Estimated accuracy of each source, when the algorithm estimates
+        one (empty for plain voting).
+    iterations:
+        Number of iterations the algorithm ran (1 for non-iterative).
+    copy_probability:
+        Estimated probability that ``(copier, original)`` pairs are in a
+        copying relationship, for copy-aware algorithms.
+    """
+
+    chosen: Mapping[str, str]
+    confidence: Mapping[str, float] = field(default_factory=dict)
+    source_accuracy: Mapping[str, float] = field(default_factory=dict)
+    iterations: int = 1
+    copy_probability: Mapping[tuple[str, str], float] = field(
+        default_factory=dict
+    )
+
+    def accuracy_against(self, truth: Mapping[str, str]) -> float:
+        """Fraction of items (with known truth) answered correctly."""
+        relevant = [item for item in truth if item in self.chosen]
+        if not relevant:
+            return 0.0
+        correct = sum(
+            1 for item in relevant if self.chosen[item] == truth[item]
+        )
+        return correct / len(relevant)
+
+
+class Fuser:
+    """Protocol-like base class for fusion algorithms.
+
+    Subclasses implement :meth:`fuse`, taking a :class:`ClaimSet` and
+    returning a :class:`FusionResult`.
+    """
+
+    name = "fuser"
+
+    def fuse(self, claims: ClaimSet) -> FusionResult:
+        raise NotImplementedError

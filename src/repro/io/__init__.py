@@ -1,0 +1,13 @@
+"""Persistence: JSONL datasets and CSV claim/truth files."""
+
+from repro.io.claims_csv import load_claims, load_truth, save_claims, save_truth
+from repro.io.jsonl import load_dataset, save_dataset
+
+__all__ = [
+    "load_claims",
+    "load_dataset",
+    "load_truth",
+    "save_claims",
+    "save_dataset",
+    "save_truth",
+]

@@ -1,0 +1,97 @@
+"""Claim persistence: the three-column CSV of the fusion literature.
+
+Fusion datasets are conventionally distributed as
+``source,item,value`` triples; this module reads and writes exactly
+that, with an optional separate truth file (``item,value``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.errors import DataModelError
+from repro.fusion.base import Claim, ClaimSet
+
+__all__ = ["save_claims", "load_claims", "save_truth", "load_truth"]
+
+_CLAIM_HEADER = ["source", "item", "value"]
+_TRUTH_HEADER = ["item", "value"]
+
+
+def save_claims(claims: ClaimSet, path: str | Path) -> Path:
+    """Write claims as ``source,item,value`` CSV (with header)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CLAIM_HEADER)
+        for claim in claims:
+            writer.writerow([claim.source_id, claim.item_id, claim.value])
+    return path
+
+
+def load_claims(path: str | Path) -> ClaimSet:
+    """Load a claim CSV written by :func:`save_claims` (or compatible)."""
+    path = Path(path)
+    claims = ClaimSet()
+    with path.open(encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise DataModelError(f"{path.name}: empty claim file")
+        if [h.strip().lower() for h in header] != _CLAIM_HEADER:
+            raise DataModelError(
+                f"{path.name}: expected header {_CLAIM_HEADER}, "
+                f"got {header}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise DataModelError(
+                    f"{path.name}:{line_number}: expected 3 columns, "
+                    f"got {len(row)}"
+                )
+            claims.add(Claim(row[0], row[1], row[2]))
+    return claims
+
+
+def save_truth(truth: dict[str, str], path: str | Path) -> Path:
+    """Write an ``item,value`` truth CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_TRUTH_HEADER)
+        for item in sorted(truth):
+            writer.writerow([item, truth[item]])
+    return path
+
+
+def load_truth(path: str | Path) -> dict[str, str]:
+    """Load an ``item,value`` truth CSV."""
+    path = Path(path)
+    truth: dict[str, str] = {}
+    with path.open(encoding="utf-8", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            raise DataModelError(f"{path.name}: empty truth file")
+        if [h.strip().lower() for h in header] != _TRUTH_HEADER:
+            raise DataModelError(
+                f"{path.name}: expected header {_TRUTH_HEADER}, got {header}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 2:
+                raise DataModelError(
+                    f"{path.name}:{line_number}: expected 2 columns"
+                )
+            if row[0] in truth:
+                raise DataModelError(
+                    f"{path.name}:{line_number}: duplicate item {row[0]!r}"
+                )
+            truth[row[0]] = row[1]
+    return truth

@@ -1,0 +1,119 @@
+"""Record linkage: blocking, meta-blocking, comparison, classification,
+clustering, identifier/incremental/temporal linkage."""
+
+from repro.linkage.active import (
+    ActiveThresholdLearner,
+    LabeledPair,
+    noisy_oracle,
+)
+from repro.linkage.blocking import (
+    Block,
+    MinHashBlocker,
+    BlockCollection,
+    Blocker,
+    CanopyBlocker,
+    CompositeBlocker,
+    KeyFunction,
+    QGramBlocker,
+    SortedNeighborhoodBlocker,
+    StandardBlocker,
+    SuffixArrayBlocker,
+    TokenBlocker,
+)
+from repro.linkage.classify import (
+    FellegiSunterModel,
+    MatchDecision,
+    MatchRule,
+    RuleBasedClassifier,
+    ThresholdClassifier,
+    fit_fellegi_sunter,
+    rule_for,
+)
+from repro.linkage.clustering import (
+    center_clustering,
+    connected_components,
+    merge_center_clustering,
+)
+from repro.linkage.comparison import (
+    ComparisonVector,
+    FieldComparator,
+    RecordComparator,
+    default_product_comparator,
+)
+from repro.linkage.identifier import (
+    IdentifierDetection,
+    detect_identifier_attributes,
+    link_by_identifier,
+    normalize_identifier,
+)
+from repro.linkage.incremental import BatchStats, IncrementalLinker
+from repro.linkage.metablocking import (
+    BlockingGraph,
+    build_blocking_graph,
+    meta_block,
+)
+from repro.linkage.progressive import (
+    ProgressivePoint,
+    order_candidates,
+    progressive_resolution_curve,
+)
+from repro.linkage.resolver import LinkageResult, MatchClassifier, resolve
+from repro.linkage.swoosh import SwooshResult, r_swoosh, union_merge
+from repro.linkage.temporal import (
+    TemporalField,
+    TemporalMatcher,
+    link_temporal_stream,
+)
+
+__all__ = [
+    "ActiveThresholdLearner",
+    "BatchStats",
+    "Block",
+    "BlockCollection",
+    "Blocker",
+    "BlockingGraph",
+    "CanopyBlocker",
+    "ComparisonVector",
+    "CompositeBlocker",
+    "FellegiSunterModel",
+    "FieldComparator",
+    "IdentifierDetection",
+    "IncrementalLinker",
+    "KeyFunction",
+    "LabeledPair",
+    "LinkageResult",
+    "MatchClassifier",
+    "MatchDecision",
+    "MatchRule",
+    "MinHashBlocker",
+    "ProgressivePoint",
+    "QGramBlocker",
+    "RecordComparator",
+    "RuleBasedClassifier",
+    "SortedNeighborhoodBlocker",
+    "StandardBlocker",
+    "SuffixArrayBlocker",
+    "SwooshResult",
+    "TemporalField",
+    "TemporalMatcher",
+    "ThresholdClassifier",
+    "TokenBlocker",
+    "build_blocking_graph",
+    "center_clustering",
+    "connected_components",
+    "default_product_comparator",
+    "detect_identifier_attributes",
+    "fit_fellegi_sunter",
+    "link_by_identifier",
+    "link_temporal_stream",
+    "merge_center_clustering",
+    "meta_block",
+    "noisy_oracle",
+    "normalize_identifier",
+    "order_candidates",
+    "progressive_resolution_curve",
+    "r_swoosh",
+    "resolve",
+    "rule_for",
+    "union_merge",
+]

@@ -1,0 +1,139 @@
+"""Blocking primitives: blocks, block collections, the Blocker interface.
+
+A *blocker* maps a sequence of records to a :class:`BlockCollection`;
+records sharing a block become candidate pairs. The collection tracks
+enough structure (record → blocks) for meta-blocking to build its
+blocking graph without re-running the blocker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.record import Record
+
+__all__ = ["Block", "BlockCollection", "Blocker", "KeyFunction"]
+
+#: A key function maps a record to zero or more blocking keys.
+#: ``None`` and empty strings are treated as "no key".
+KeyFunction = Callable[[Record], str | Iterable[str] | None]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block: a key and the ids of the records that share it."""
+
+    key: str
+    record_ids: tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.record_ids)
+
+    @property
+    def n_comparisons(self) -> int:
+        """Number of unordered pairs this block induces."""
+        n = len(self.record_ids)
+        return n * (n - 1) // 2
+
+
+class BlockCollection:
+    """All blocks produced by one blocking pass.
+
+    Exposes the two views consumers need: per-block (for distributed
+    execution and statistics) and per-record (for meta-blocking's
+    blocking graph).
+    """
+
+    def __init__(self, blocks: Iterable[Block] = ()) -> None:
+        self._blocks: list[Block] = []
+        self._blocks_of_record: dict[str, set[int]] = defaultdict(set)
+        for block in blocks:
+            self.add(block)
+
+    @classmethod
+    def from_key_map(
+        cls, key_to_records: Mapping[str, Sequence[str]]
+    ) -> "BlockCollection":
+        """Build from a key → record-ids mapping, dropping size-1 blocks."""
+        collection = cls()
+        for key in sorted(key_to_records):
+            record_ids = key_to_records[key]
+            if len(record_ids) > 1:
+                collection.add(Block(key, tuple(record_ids)))
+        return collection
+
+    def add(self, block: Block) -> None:
+        """Append a block (singletons are permitted but useless)."""
+        index = len(self._blocks)
+        self._blocks.append(block)
+        for record_id in block.record_ids:
+            self._blocks_of_record[record_id].add(index)
+
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        """All blocks, in insertion order."""
+        return tuple(self._blocks)
+
+    def blocks_of(self, record_id: str) -> frozenset[int]:
+        """Indices of the blocks containing ``record_id``."""
+        return frozenset(self._blocks_of_record.get(record_id, frozenset()))
+
+    def candidate_pairs(self) -> set[frozenset[str]]:
+        """Deduplicated unordered candidate pairs across all blocks."""
+        pairs: set[frozenset[str]] = set()
+        for block in self._blocks:
+            ids = block.record_ids
+            for i, left in enumerate(ids):
+                for right in ids[i + 1 :]:
+                    if left != right:
+                        pairs.add(frozenset((left, right)))
+        return pairs
+
+    @property
+    def n_comparisons(self) -> int:
+        """Total comparisons counting duplicates across blocks.
+
+        This is the cost a naive executor pays; ``len(candidate_pairs())``
+        is the cost after deduplication.
+        """
+        return sum(block.n_comparisons for block in self._blocks)
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self._blocks)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockCollection(blocks={len(self._blocks)}, "
+            f"comparisons={self.n_comparisons})"
+        )
+
+
+class Blocker:
+    """Base class for blockers."""
+
+    name = "blocker"
+
+    def block(self, records: Sequence[Record]) -> BlockCollection:
+        raise NotImplementedError
+
+    @staticmethod
+    def _keys_of(key_function: KeyFunction, record: Record) -> list[str]:
+        """Normalize a key function's output to a list of usable keys."""
+        raw = key_function(record)
+        if raw is None:
+            return []
+        if isinstance(raw, str):
+            return [raw] if raw else []
+        return [key for key in raw if key]
+
+
+def require_positive(name: str, value: int) -> None:
+    """Shared validation helper for blocker parameters."""
+    if value < 1:
+        raise ConfigurationError(f"{name} must be >= 1, got {value}")

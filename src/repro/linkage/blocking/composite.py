@@ -1,0 +1,48 @@
+"""Composite blocking: union of several blockers' blocks.
+
+Combining complementary blockers (e.g. a brand key plus a Soundex key)
+is the standard recall remedy: a match missed by one key survives via
+another. Costs add, so pair with meta-blocking when the union gets
+large.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.record import Record
+from repro.linkage.blocking.base import Block, BlockCollection, Blocker
+
+__all__ = ["CompositeBlocker"]
+
+
+class CompositeBlocker(Blocker):
+    """Run every child blocker and take the union of their blocks."""
+
+    name = "composite"
+
+    def __init__(self, blockers: Sequence[Blocker]) -> None:
+        if not blockers:
+            raise ConfigurationError(
+                "CompositeBlocker needs at least one child blocker"
+            )
+        self._blockers = tuple(blockers)
+
+    @property
+    def blockers(self) -> tuple[Blocker, ...]:
+        """The child blockers."""
+        return self._blockers
+
+    def block(self, records: Sequence[Record]) -> BlockCollection:
+        combined = BlockCollection()
+        for child_index, blocker in enumerate(self._blockers):
+            child = blocker.block(records)
+            for block in child:
+                combined.add(
+                    Block(
+                        key=f"{child_index}:{blocker.name}:{block.key}",
+                        record_ids=block.record_ids,
+                    )
+                )
+        return combined

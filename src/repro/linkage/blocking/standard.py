@@ -1,0 +1,36 @@
+"""Standard (key-equality) blocking."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.core.record import Record
+from repro.linkage.blocking.base import (
+    BlockCollection,
+    Blocker,
+    KeyFunction,
+)
+
+__all__ = ["StandardBlocker"]
+
+
+class StandardBlocker(Blocker):
+    """Records sharing a blocking key form a block.
+
+    The cheapest and most brittle scheme: recall depends entirely on the
+    key never being corrupted. Use multi-valued key functions (e.g.
+    :func:`repro.linkage.blocking.keys.token_set_key`) for redundancy.
+    """
+
+    name = "standard"
+
+    def __init__(self, key_function: KeyFunction) -> None:
+        self._key_function = key_function
+
+    def block(self, records: Sequence[Record]) -> BlockCollection:
+        by_key: dict[str, list[str]] = defaultdict(list)
+        for record in records:
+            for key in self._keys_of(self._key_function, record):
+                by_key[key].append(record.record_id)
+        return BlockCollection.from_key_map(by_key)

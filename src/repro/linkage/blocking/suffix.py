@@ -1,0 +1,61 @@
+"""Suffix-array blocking (Aizawa & Oyama).
+
+Every suffix (of at least ``min_suffix_length``) of the blocking key
+becomes a block key; overly common suffixes are dropped via
+``max_block_size``. Robust to prefix corruption and key truncation —
+complements prefix/q-gram schemes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.core.record import Record
+from repro.linkage.blocking.base import (
+    BlockCollection,
+    Blocker,
+    KeyFunction,
+    require_positive,
+)
+
+__all__ = ["SuffixArrayBlocker"]
+
+
+class SuffixArrayBlocker(Blocker):
+    """Block on all sufficiently long suffixes of the key."""
+
+    name = "suffix"
+
+    def __init__(
+        self,
+        key_function: KeyFunction,
+        min_suffix_length: int = 4,
+        max_block_size: int = 50,
+    ) -> None:
+        require_positive("min_suffix_length", min_suffix_length)
+        require_positive("max_block_size", max_block_size)
+        self._key_function = key_function
+        self._min_suffix_length = min_suffix_length
+        self._max_block_size = max_block_size
+
+    def block(self, records: Sequence[Record]) -> BlockCollection:
+        by_suffix: dict[str, list[str]] = defaultdict(list)
+        for record in records:
+            suffixes: set[str] = set()
+            for key in self._keys_of(self._key_function, record):
+                compact = key.replace(" ", "")
+                for start in range(
+                    0, max(0, len(compact) - self._min_suffix_length) + 1
+                ):
+                    suffix = compact[start:]
+                    if len(suffix) >= self._min_suffix_length:
+                        suffixes.add(suffix)
+            for suffix in suffixes:
+                by_suffix[suffix].append(record.record_id)
+        pruned = {
+            suffix: ids
+            for suffix, ids in by_suffix.items()
+            if len(ids) <= self._max_block_size
+        }
+        return BlockCollection.from_key_map(pruned)

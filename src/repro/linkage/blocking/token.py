@@ -1,0 +1,56 @@
+"""Schema-agnostic token blocking (Papadakis et al.).
+
+Every word token appearing in *any* attribute value becomes a block
+key. No schema knowledge needed — exactly what highly heterogeneous
+multi-source corpora call for — at the price of enormous redundancy,
+which is what meta-blocking (see :mod:`repro.linkage.metablocking`)
+exists to prune.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.core.record import Record
+from repro.linkage.blocking.base import BlockCollection, Blocker
+from repro.text.normalize import normalize_value
+from repro.text.tokens import word_tokens
+
+__all__ = ["TokenBlocker"]
+
+
+class TokenBlocker(Blocker):
+    """Block on every token of every attribute value.
+
+    ``max_block_size`` drops stop-word blocks; ``min_token_length``
+    skips tokens too short to be discriminative.
+    """
+
+    name = "token"
+
+    def __init__(
+        self,
+        max_block_size: int | None = None,
+        min_token_length: int = 2,
+    ) -> None:
+        self._max_block_size = max_block_size
+        self._min_token_length = min_token_length
+
+    def block(self, records: Sequence[Record]) -> BlockCollection:
+        by_token: dict[str, list[str]] = defaultdict(list)
+        for record in records:
+            tokens: set[str] = set()
+            for value in record.attributes.values():
+                for token in word_tokens(normalize_value(value)):
+                    if len(token) >= self._min_token_length:
+                        tokens.add(token)
+            for token in tokens:
+                by_token[token].append(record.record_id)
+        if self._max_block_size is not None:
+            by_token = {
+                token: ids
+                for token, ids in by_token.items()
+                if len(ids) <= self._max_block_size
+            }
+        return BlockCollection.from_key_map(by_token)

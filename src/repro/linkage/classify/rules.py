@@ -1,0 +1,103 @@
+"""Rule-based match classification.
+
+A :class:`MatchRule` is a conjunction of per-field minimum similarities
+(by field index in the comparator's vector); a
+:class:`RuleBasedClassifier` declares a match when *any* rule fires —
+disjunctive normal form, the way hand-written linkage rules are
+actually expressed ("same identifier, OR name ≥ .9 and brand ≥ .9").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.linkage.classify.threshold import MatchDecision
+from repro.linkage.comparison import ComparisonVector, RecordComparator
+
+__all__ = ["MatchRule", "RuleBasedClassifier", "rule_for"]
+
+
+@dataclass(frozen=True)
+class MatchRule:
+    """Conjunction of (field index → minimum similarity) requirements."""
+
+    requirements: Mapping[int, float]
+    label: str = "rule"
+
+    def __post_init__(self) -> None:
+        if not self.requirements:
+            raise ConfigurationError("a rule needs at least one requirement")
+        for index, minimum in self.requirements.items():
+            if index < 0:
+                raise ConfigurationError("field indices must be >= 0")
+            if not 0.0 <= minimum <= 1.0:
+                raise ConfigurationError("minimum similarities in [0, 1]")
+
+    def fires(self, vector: ComparisonVector) -> bool:
+        """True iff every required field is present and similar enough."""
+        for index, minimum in self.requirements.items():
+            if index >= len(vector.similarities):
+                return False
+            similarity = vector.similarities[index]
+            if similarity is None or similarity < minimum:
+                return False
+        return True
+
+
+def rule_for(
+    comparator: RecordComparator,
+    label: str = "rule",
+    **attribute_minimums: float,
+) -> MatchRule:
+    """Build a rule by attribute *name* against a comparator's fields.
+
+    >>> rule = rule_for(comparator, name=0.9, brand=0.9)  # doctest: +SKIP
+    """
+    index_of = {
+        field.attribute.replace(" ", "_"): index
+        for index, field in enumerate(comparator.fields)
+    }
+    requirements: dict[int, float] = {}
+    for attribute, minimum in attribute_minimums.items():
+        if attribute not in index_of:
+            raise ConfigurationError(
+                f"comparator has no field {attribute!r}; "
+                f"available: {sorted(index_of)}"
+            )
+        requirements[index_of[attribute]] = minimum
+    return MatchRule(requirements, label=label)
+
+
+class RuleBasedClassifier:
+    """Match when any rule fires (disjunction of conjunctions)."""
+
+    name = "rules"
+
+    def __init__(self, rules: Sequence[MatchRule]) -> None:
+        if not rules:
+            raise ConfigurationError("at least one rule is required")
+        self._rules = tuple(rules)
+
+    @property
+    def rules(self) -> tuple[MatchRule, ...]:
+        """The rules, in priority order."""
+        return self._rules
+
+    def classify(self, vector: ComparisonVector) -> str:
+        """MATCH iff some rule fires, else NON_MATCH."""
+        if any(rule.fires(vector) for rule in self._rules):
+            return MatchDecision.MATCH
+        return MatchDecision.NON_MATCH
+
+    def is_match(self, vector: ComparisonVector) -> bool:
+        """True iff some rule fires."""
+        return self.classify(vector) == MatchDecision.MATCH
+
+    def firing_rule(self, vector: ComparisonVector) -> MatchRule | None:
+        """The first rule that fires, for explainability."""
+        for rule in self._rules:
+            if rule.fires(vector):
+                return rule
+        return None

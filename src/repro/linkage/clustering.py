@@ -1,0 +1,138 @@
+"""Record clustering: from match pairs to entity clusters.
+
+Pairwise decisions rarely form clean cliques; a clustering step turns
+them into a partition. Three standard algorithms:
+
+* **connected components** — transitive closure; maximal recall,
+  vulnerable to chaining through one bad edge;
+* **center clustering** (Hassanzadeh & Miller) — edges in descending
+  score order elect cluster centers; records attach only to centers,
+  which prevents chains;
+* **merge-center** — center clustering that additionally merges two
+  clusters when a strong edge lands on a center, recovering recall
+  that center clustering gives up.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.unionfind import UnionFind
+
+__all__ = [
+    "ScoredEdge",
+    "connected_components",
+    "center_clustering",
+    "merge_center_clustering",
+]
+
+ScoredEdge = tuple[str, str, float]
+
+
+def _sorted_edges(edges: Iterable[ScoredEdge]) -> list[ScoredEdge]:
+    return sorted(edges, key=lambda e: (-e[2], min(e[0], e[1]), max(e[0], e[1])))
+
+
+def connected_components(
+    pairs: Iterable[tuple[str, str]] | Iterable[frozenset[str]],
+    all_ids: Iterable[str] = (),
+) -> list[list[str]]:
+    """Transitive closure of match pairs.
+
+    ``all_ids`` adds unmatched records as singleton clusters so the
+    result is a partition of the corpus.
+    """
+    uf: UnionFind[str] = UnionFind(all_ids)
+    for pair in pairs:
+        members = tuple(pair)
+        if len(members) == 2:
+            uf.union(members[0], members[1])
+    return uf.groups()
+
+
+def center_clustering(
+    edges: Sequence[ScoredEdge],
+    all_ids: Iterable[str] = (),
+) -> list[list[str]]:
+    """Center clustering over score-sorted edges.
+
+    Processing edges in descending score order: when both endpoints are
+    unassigned, the lexicographically smaller becomes a *center* and
+    the other its member; an unassigned record attaches to a center it
+    shares an edge with; edges between two assigned records (or a
+    member and anything) are ignored.
+    """
+    center_of: dict[str, str] = {}
+    is_center: set[str] = set()
+    seen: set[str] = set()
+    for a, b, __ in _sorted_edges(edges):
+        if a == b:
+            continue
+        seen.update((a, b))
+        a_assigned = a in center_of
+        b_assigned = b in center_of
+        if not a_assigned and not b_assigned:
+            center, member = (a, b) if a <= b else (b, a)
+            center_of[center] = center
+            center_of[member] = center
+            is_center.add(center)
+        elif a_assigned and not b_assigned:
+            if a in is_center:
+                center_of[b] = a
+        elif b_assigned and not a_assigned:
+            if b in is_center:
+                center_of[a] = b
+        # both assigned → ignored (no chaining).
+    clusters: dict[str, list[str]] = {}
+    for record, center in center_of.items():
+        clusters.setdefault(center, []).append(record)
+    # Nodes that only ever touched non-center members stay singletons,
+    # as do ids never seen in any edge.
+    for record_id in sorted(seen) + sorted(all_ids):
+        if record_id not in center_of:
+            center_of[record_id] = record_id
+            clusters.setdefault(record_id, [record_id])
+    groups = [sorted(group) for group in clusters.values()]
+    groups.sort(key=lambda group: group[0])
+    return groups
+
+
+def merge_center_clustering(
+    edges: Sequence[ScoredEdge],
+    all_ids: Iterable[str] = (),
+) -> list[list[str]]:
+    """Merge-center clustering: center clustering plus center merges.
+
+    Like center clustering, but an edge between records of two
+    *different* clusters merges the clusters when at least one endpoint
+    is a center — recovering matches that strict center clustering
+    drops, while still requiring center-level evidence to merge.
+    """
+    uf: UnionFind[str] = UnionFind()
+    center_of: dict[str, str] = {}
+    is_center: set[str] = set()
+    for a, b, __ in _sorted_edges(edges):
+        if a == b:
+            continue
+        a_assigned = a in center_of
+        b_assigned = b in center_of
+        if not a_assigned and not b_assigned:
+            center, member = (a, b) if a <= b else (b, a)
+            center_of[center] = center
+            center_of[member] = center
+            is_center.add(center)
+            uf.union(center, member)
+        elif a_assigned and not b_assigned:
+            if a in is_center:
+                center_of[b] = a
+                uf.union(a, b)
+        elif b_assigned and not a_assigned:
+            if b in is_center:
+                center_of[a] = b
+                uf.union(a, b)
+        else:
+            if (a in is_center or b in is_center) and not uf.connected(a, b):
+                uf.union(a, b)
+    for record_id in all_ids:
+        uf.add(record_id)
+    return uf.groups()

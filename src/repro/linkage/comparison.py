@@ -1,0 +1,225 @@
+"""Record-pair comparison: feature vectors and weighted scores.
+
+A :class:`RecordComparator` holds a list of :class:`FieldComparator`
+rules — which attribute to compare, with which similarity function, at
+what weight. Comparing a pair yields a :class:`ComparisonVector` (one
+similarity per field, ``None`` where either side lacks the field) and a
+weighted aggregate score over the *present* fields.
+
+Records from heterogeneous sources should be compared after mediated-
+schema translation; pass ``translate`` to apply a
+:class:`~repro.schema.mediated.MediatedSchema` on the fly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.record import Record
+from repro.text.normalize import normalize_value
+from repro.text.similarity import (
+    exact_similarity,
+    jaro_winkler_similarity,
+    measurement_similarity,
+    product_name_similarity,
+)
+
+__all__ = [
+    "FieldComparator",
+    "ComparisonVector",
+    "RecordComparator",
+    "default_product_comparator",
+]
+
+Translator = Callable[[Record], Mapping[str, str]]
+
+
+@dataclass(frozen=True)
+class FieldComparator:
+    """One comparison rule: attribute, similarity function, weight.
+
+    ``aliases`` are fallback attribute names tried (in order) when the
+    primary name is absent — the pragmatic answer to heterogeneous
+    schemas when records are compared without prior schema translation.
+    """
+
+    attribute: str
+    similarity: Callable[[str, str], float]
+    weight: float = 1.0
+    normalize: bool = True
+    aliases: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError("field weight must be positive")
+
+    def _lookup(self, attributes: Mapping[str, str]) -> str | None:
+        value = attributes.get(self.attribute)
+        if value is not None:
+            return value
+        for alias in self.aliases:
+            value = attributes.get(alias)
+            if value is not None:
+                return value
+        return None
+
+    def compare(
+        self, left: Mapping[str, str], right: Mapping[str, str]
+    ) -> float | None:
+        """Similarity of this field, or ``None`` when either is missing."""
+        value_left = self._lookup(left)
+        value_right = self._lookup(right)
+        if value_left is None or value_right is None:
+            return None
+        if self.normalize:
+            value_left = normalize_value(value_left)
+            value_right = normalize_value(value_right)
+        return self.similarity(value_left, value_right)
+
+
+@dataclass(frozen=True)
+class ComparisonVector:
+    """Per-field similarities plus the aggregate score of one pair."""
+
+    left_id: str
+    right_id: str
+    similarities: tuple[float | None, ...]
+    score: float
+
+    def agreement_pattern(self, threshold: float = 0.85) -> tuple[bool, ...]:
+        """Binary agreement vector (missing counts as disagreement).
+
+        This is the representation Fellegi-Sunter's EM consumes.
+        """
+        return tuple(
+            s is not None and s >= threshold for s in self.similarities
+        )
+
+
+class RecordComparator:
+    """Compares record pairs field by field.
+
+    Parameters
+    ----------
+    fields:
+        The comparison rules.
+    translate:
+        Optional record → attribute-mapping translator applied before
+        field lookup (e.g. ``schema.translate``). Defaults to the raw
+        attribute mapping.
+    missing_penalty:
+        Score contribution assumed for fields missing on either side,
+        in ``[0, 1]``; the default ``None`` simply excludes missing
+        fields from the weighted average.
+    """
+
+    def __init__(
+        self,
+        fields: Sequence[FieldComparator],
+        translate: Translator | None = None,
+        missing_penalty: float | None = None,
+    ) -> None:
+        if not fields:
+            raise ConfigurationError("at least one field comparator needed")
+        if missing_penalty is not None and not 0 <= missing_penalty <= 1:
+            raise ConfigurationError("missing_penalty must be in [0, 1]")
+        self._fields = tuple(fields)
+        self._translate = translate or (lambda record: record.attributes)
+        self._missing_penalty = missing_penalty
+
+    @property
+    def fields(self) -> tuple[FieldComparator, ...]:
+        """The comparison rules."""
+        return self._fields
+
+    def compare(self, left: Record, right: Record) -> ComparisonVector:
+        """Compare one pair, returning its vector and aggregate score."""
+        left_attributes = self._translate(left)
+        right_attributes = self._translate(right)
+        similarities: list[float | None] = []
+        weighted = 0.0
+        total_weight = 0.0
+        for field in self._fields:
+            similarity = field.compare(left_attributes, right_attributes)
+            similarities.append(similarity)
+            if similarity is None:
+                if self._missing_penalty is not None:
+                    weighted += field.weight * self._missing_penalty
+                    total_weight += field.weight
+                continue
+            weighted += field.weight * similarity
+            total_weight += field.weight
+        score = weighted / total_weight if total_weight else 0.0
+        return ComparisonVector(
+            left_id=left.record_id,
+            right_id=right.record_id,
+            similarities=tuple(similarities),
+            score=score,
+        )
+
+    def score(self, left: Record, right: Record) -> float:
+        """Aggregate score only (convenience)."""
+        return self.compare(left, right).score
+
+
+def default_product_comparator(
+    translate: Translator | None = None,
+) -> RecordComparator:
+    """A comparator tuned for the synthetic product corpus.
+
+    The name comparison is model-number aware (see
+    :func:`repro.text.similarity.product_name_similarity`), identifier
+    agreement is decisive when present, measurements compare after unit
+    conversion, and brand/color are cheap corroboration. Aliases cover
+    the built-in vocabulary dialects, so the comparator also works on
+    raw, untranslated records.
+    """
+    identifier_aliases = (
+        "sku", "mpn", "model number", "item code", "part number",
+        "model code", "model", "isbn", "isbn 13", "isbn13", "ean",
+        "flight number", "flight", "flight no", "flt",
+    )
+    name_aliases = ("title", "product name", "model", "item name")
+    return RecordComparator(
+        fields=[
+            FieldComparator(
+                "name",
+                product_name_similarity,
+                weight=3.0,
+                aliases=name_aliases,
+            ),
+            FieldComparator(
+                "product id",
+                exact_similarity,
+                weight=4.0,
+                aliases=identifier_aliases,
+            ),
+            FieldComparator(
+                "brand",
+                jaro_winkler_similarity,
+                weight=1.0,
+                aliases=("manufacturer", "make", "vendor", "producer"),
+            ),
+            FieldComparator(
+                "color", exact_similarity, weight=0.5,
+                aliases=("colour", "body color", "finish", "shade"),
+            ),
+            FieldComparator(
+                "screen size",
+                measurement_similarity,
+                weight=1.0,
+                aliases=(
+                    "display size", "lcd size", "monitor size", "display",
+                    "screen diagonal",
+                ),
+            ),
+            FieldComparator(
+                "weight", measurement_similarity, weight=1.0,
+                aliases=("item weight", "body weight", "mass", "net weight",
+                         "travel weight"),
+            ),
+        ],
+        translate=translate,
+    )

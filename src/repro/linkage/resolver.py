@@ -1,0 +1,98 @@
+"""The end-to-end entity-resolution driver.
+
+:func:`resolve` wires the four linkage stages — block, compare,
+classify, cluster — over a record collection and returns a
+:class:`LinkageResult` carrying the clusters, the match pairs, and the
+cost counters the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Protocol, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.record import Record
+from repro.linkage.blocking.base import Blocker
+from repro.linkage.clustering import (
+    ScoredEdge,
+    center_clustering,
+    connected_components,
+    merge_center_clustering,
+)
+from repro.linkage.comparison import ComparisonVector, RecordComparator
+
+__all__ = ["MatchClassifier", "LinkageResult", "resolve"]
+
+ClusteringName = Literal["components", "center", "merge-center"]
+
+
+class MatchClassifier(Protocol):
+    """Anything that can turn a comparison vector into a match decision."""
+
+    def is_match(self, vector: ComparisonVector) -> bool: ...
+
+
+@dataclass(frozen=True)
+class LinkageResult:
+    """Everything a linkage run produced.
+
+    ``n_candidates`` counts deduplicated candidate pairs (the number of
+    comparisons actually executed).
+    """
+
+    clusters: list[list[str]]
+    match_pairs: set[frozenset[str]]
+    n_candidates: int
+    scored_edges: list[ScoredEdge] = field(default_factory=list)
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of clusters (entities found)."""
+        return len(self.clusters)
+
+
+def resolve(
+    records: Sequence[Record],
+    blocker: Blocker,
+    comparator: RecordComparator,
+    classifier: MatchClassifier,
+    clustering: ClusteringName = "components",
+    candidate_pairs: set[frozenset[str]] | None = None,
+) -> LinkageResult:
+    """Run block → compare → classify → cluster over ``records``.
+
+    ``candidate_pairs`` overrides the blocker's output when provided
+    (e.g. pairs surviving meta-blocking) — the blocker is then not run
+    at all.
+    """
+    by_id = {record.record_id: record for record in records}
+    if candidate_pairs is None:
+        candidate_pairs = blocker.block(records).candidate_pairs()
+    match_pairs: set[frozenset[str]] = set()
+    scored_edges: list[ScoredEdge] = []
+    for pair in sorted(candidate_pairs, key=sorted):
+        left_id, right_id = sorted(pair)
+        left = by_id.get(left_id)
+        right = by_id.get(right_id)
+        if left is None or right is None:
+            continue
+        vector = comparator.compare(left, right)
+        if classifier.is_match(vector):
+            match_pairs.add(pair)
+            scored_edges.append((left_id, right_id, vector.score))
+    all_ids = sorted(by_id)
+    if clustering == "components":
+        clusters = connected_components(match_pairs, all_ids)
+    elif clustering == "center":
+        clusters = center_clustering(scored_edges, all_ids)
+    elif clustering == "merge-center":
+        clusters = merge_center_clustering(scored_edges, all_ids)
+    else:
+        raise ConfigurationError(f"unknown clustering {clustering!r}")
+    return LinkageResult(
+        clusters=clusters,
+        match_pairs=match_pairs,
+        n_candidates=len(candidate_pairs),
+        scored_edges=scored_edges,
+    )

@@ -1,0 +1,145 @@
+"""Temporal record linkage with similarity decay (Li et al., VLDB'11).
+
+Entities evolve: people move, products get re-specced. A static
+matcher treats every disagreement as evidence of non-match, so it
+splits an evolving entity across epochs; and it treats every agreement
+as full evidence of match, so it merges namesakes observed years
+apart. Decay fixes both directions:
+
+* **disagreement decay** — a *mutable* attribute disagreeing across a
+  large time gap loses its negative force (the value may simply have
+  changed);
+* **agreement decay** — a mutable attribute agreeing across a large
+  time gap loses some positive force (old values get reused by
+  others).
+
+Stable attributes (names, identifiers) never decay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.record import Record
+
+__all__ = ["TemporalField", "TemporalMatcher", "link_temporal_stream"]
+
+
+@dataclass(frozen=True)
+class TemporalField:
+    """One attribute's role in temporal matching."""
+
+    attribute: str
+    similarity: Callable[[str, str], float]
+    weight: float = 1.0
+    mutable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ConfigurationError("field weight must be positive")
+
+
+class TemporalMatcher:
+    """Scores record pairs with time-decayed agreement/disagreement.
+
+    Per shared field the raw similarity ``s`` becomes signed evidence
+    ``e = 2s - 1`` in ``[-1, 1]``. For mutable fields with time gap
+    Δt, negative evidence is multiplied by ``exp(-disagreement_decay ·
+    Δt)`` and positive evidence by ``exp(-agreement_decay · Δt)``. The
+    aggregate is the weight-normalized evidence mapped back to
+    ``[0, 1]``. ``decay = 0`` on both rates reproduces a static
+    matcher exactly, which is the ablation the experiment runs.
+    """
+
+    def __init__(
+        self,
+        fields: Sequence[TemporalField],
+        disagreement_decay: float = 0.5,
+        agreement_decay: float = 0.05,
+        match_threshold: float = 0.7,
+    ) -> None:
+        if not fields:
+            raise ConfigurationError("at least one temporal field required")
+        if disagreement_decay < 0 or agreement_decay < 0:
+            raise ConfigurationError("decay rates must be >= 0")
+        if not 0.0 <= match_threshold <= 1.0:
+            raise ConfigurationError("match_threshold must be in [0, 1]")
+        self._fields = tuple(fields)
+        self._disagreement_decay = disagreement_decay
+        self._agreement_decay = agreement_decay
+        self._match_threshold = match_threshold
+
+    @property
+    def match_threshold(self) -> float:
+        """Score at or above which a pair matches."""
+        return self._match_threshold
+
+    def score(self, left: Record, right: Record) -> float:
+        """Time-decayed match score of a record pair in [0, 1]."""
+        gap = 0.0
+        if left.timestamp is not None and right.timestamp is not None:
+            gap = abs(left.timestamp - right.timestamp)
+        weighted = 0.0
+        total_weight = 0.0
+        for field in self._fields:
+            value_left = left.get(field.attribute)
+            value_right = right.get(field.attribute)
+            if value_left is None or value_right is None:
+                continue
+            evidence = 2.0 * field.similarity(value_left, value_right) - 1.0
+            if field.mutable and gap > 0:
+                if evidence < 0:
+                    evidence *= math.exp(-self._disagreement_decay * gap)
+                else:
+                    evidence *= math.exp(-self._agreement_decay * gap)
+            weighted += field.weight * evidence
+            total_weight += field.weight
+        if total_weight == 0.0:
+            return 0.0
+        return (weighted / total_weight + 1.0) / 2.0
+
+    def is_match(self, left: Record, right: Record) -> bool:
+        """True iff the decayed score reaches the threshold."""
+        return self.score(left, right) >= self._match_threshold
+
+
+def link_temporal_stream(
+    records: Sequence[Record],
+    matcher: TemporalMatcher,
+    compare_last: int = 3,
+) -> list[list[str]]:
+    """Cluster a time-ordered record stream incrementally.
+
+    Records are processed in timestamp order (early binding). Each new
+    record is scored against the ``compare_last`` most recent members
+    of every existing cluster and joins the best-scoring cluster above
+    the matcher's threshold, else starts its own. Comparing against
+    recent members (not the earliest) is what lets a cluster *follow*
+    an evolving entity.
+    """
+    ordered = sorted(
+        records, key=lambda r: (r.timestamp or 0.0, r.record_id)
+    )
+    clusters: list[list[Record]] = []
+    for record in ordered:
+        best_index = -1
+        best_score = matcher.match_threshold
+        for index, cluster in enumerate(clusters):
+            recent = cluster[-compare_last:]
+            score = max(matcher.score(record, member) for member in recent)
+            if score >= best_score and (
+                best_index == -1 or score > best_score
+            ):
+                best_index = index
+                best_score = score
+        if best_index >= 0:
+            clusters[best_index].append(record)
+        else:
+            clusters.append([record])
+    return [
+        sorted(member.record_id for member in cluster)
+        for cluster in clusters
+    ]

@@ -1,0 +1,51 @@
+"""Evaluation metrics for every pipeline stage, plus report rendering."""
+
+from repro.quality.blocking import BlockingQuality, blocking_quality, total_pairs
+from repro.quality.corpus_stats import (
+    AttributeTailStatistics,
+    attribute_tail_statistics,
+)
+from repro.quality.clusters import (
+    BCubedQuality,
+    bcubed_quality,
+    clusters_to_pairs,
+    pairwise_cluster_quality,
+)
+from repro.quality.fusion import (
+    CopyDetectionQuality,
+    accuracy_estimation_error,
+    copy_detection_quality,
+    fusion_accuracy,
+)
+from repro.quality.matching import PairQuality, as_pair_set, pair_quality
+from repro.quality.report import format_cell, render_kv, render_table
+from repro.quality.schema import (
+    attribute_cluster_quality,
+    correspondence_quality,
+    true_attribute_pairs,
+)
+
+__all__ = [
+    "AttributeTailStatistics",
+    "BCubedQuality",
+    "BlockingQuality",
+    "CopyDetectionQuality",
+    "PairQuality",
+    "accuracy_estimation_error",
+    "as_pair_set",
+    "attribute_tail_statistics",
+    "attribute_cluster_quality",
+    "bcubed_quality",
+    "blocking_quality",
+    "clusters_to_pairs",
+    "copy_detection_quality",
+    "correspondence_quality",
+    "format_cell",
+    "fusion_accuracy",
+    "pair_quality",
+    "pairwise_cluster_quality",
+    "render_kv",
+    "render_table",
+    "total_pairs",
+    "true_attribute_pairs",
+]

@@ -1,0 +1,89 @@
+"""Blocking quality: pairs completeness, pairs quality, reduction ratio.
+
+The classic blocking trade-off is measured by three numbers:
+
+* **pairs completeness (PC)** — fraction of true matching pairs that
+  survive blocking (recall of the candidate set);
+* **pairs quality (PQ)** — fraction of candidate pairs that are true
+  matches (precision of the candidate set);
+* **reduction ratio (RR)** — fraction of the full quadratic comparison
+  space that blocking avoided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.core.ground_truth import GroundTruth
+from repro.quality.matching import as_pair_set
+
+__all__ = ["BlockingQuality", "blocking_quality", "total_pairs"]
+
+
+def total_pairs(n_records: int) -> int:
+    """Number of unordered record pairs among ``n_records`` records."""
+    return n_records * (n_records - 1) // 2
+
+
+@dataclass(frozen=True)
+class BlockingQuality:
+    """PC / PQ / RR of a candidate pair set."""
+
+    candidate_pairs: int
+    matching_candidates: int
+    true_matches: int
+    n_records: int
+
+    @property
+    def pairs_completeness(self) -> float:
+        """Fraction of true matches retained by blocking."""
+        if self.true_matches == 0:
+            return 1.0
+        return self.matching_candidates / self.true_matches
+
+    @property
+    def pairs_quality(self) -> float:
+        """Fraction of candidates that are true matches."""
+        if self.candidate_pairs == 0:
+            return 1.0
+        return self.matching_candidates / self.candidate_pairs
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of the quadratic comparison space avoided."""
+        full = total_pairs(self.n_records)
+        if full == 0:
+            return 1.0
+        return 1.0 - self.candidate_pairs / full
+
+    def __str__(self) -> str:
+        return (
+            f"PC={self.pairs_completeness:.3f} "
+            f"PQ={self.pairs_quality:.4f} "
+            f"RR={self.reduction_ratio:.4f} "
+            f"({self.candidate_pairs} candidates)"
+        )
+
+
+def blocking_quality(
+    candidates: Iterable[tuple[str, str] | frozenset[str]],
+    truth: GroundTruth,
+    n_records: int,
+) -> BlockingQuality:
+    """Score a candidate pair set against ground truth.
+
+    ``n_records`` is the number of records blocking ran over (needed
+    for the reduction ratio's quadratic baseline).
+    """
+    if n_records < 0:
+        raise ConfigurationError("n_records must be >= 0")
+    candidate_set = as_pair_set(candidates)
+    true_set = truth.matching_pairs()
+    return BlockingQuality(
+        candidate_pairs=len(candidate_set),
+        matching_candidates=len(candidate_set & true_set),
+        true_matches=len(true_set),
+        n_records=n_records,
+    )

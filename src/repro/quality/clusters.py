@@ -1,0 +1,108 @@
+"""Cluster-level linkage quality: pairwise F1 and B-cubed metrics.
+
+Pairwise metrics score the *pairs implied by* a clustering; B-cubed
+metrics average per-record precision/recall and are less dominated by
+large clusters. Both are standard in the entity-resolution literature
+and both are computed against the ground-truth record→entity mapping.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.ground_truth import GroundTruth
+from repro.quality.matching import PairQuality, pair_quality
+
+__all__ = [
+    "BCubedQuality",
+    "bcubed_quality",
+    "clusters_to_pairs",
+    "pairwise_cluster_quality",
+]
+
+
+def clusters_to_pairs(
+    clusters: Iterable[Iterable[str]],
+) -> set[frozenset[str]]:
+    """All unordered within-cluster record pairs implied by a clustering."""
+    pairs: set[frozenset[str]] = set()
+    for cluster in clusters:
+        members = sorted(set(cluster))
+        for i, left in enumerate(members):
+            for right in members[i + 1 :]:
+                pairs.add(frozenset((left, right)))
+    return pairs
+
+
+def pairwise_cluster_quality(
+    clusters: Iterable[Iterable[str]], truth: GroundTruth
+) -> PairQuality:
+    """Pairwise precision/recall/F1 of a clustering against ground truth."""
+    return pair_quality(clusters_to_pairs(clusters), truth)
+
+
+@dataclass(frozen=True)
+class BCubedQuality:
+    """B-cubed precision, recall, and their harmonic mean."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of B-cubed precision and recall."""
+        total = self.precision + self.recall
+        return 2 * self.precision * self.recall / total if total else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"B3-P={self.precision:.3f} B3-R={self.recall:.3f} "
+            f"B3-F1={self.f1:.3f}"
+        )
+
+
+def bcubed_quality(
+    clusters: Sequence[Iterable[str]], truth: GroundTruth
+) -> BCubedQuality:
+    """B-cubed precision/recall of a clustering against ground truth.
+
+    For each record, precision is the fraction of its cluster that
+    shares its true entity; recall is the fraction of its true entity's
+    records found in its cluster. Records not present in any cluster
+    contribute recall 0 (a clustering must cover the corpus).
+    """
+    cluster_of: dict[str, int] = {}
+    cluster_members: dict[int, list[str]] = defaultdict(list)
+    for index, cluster in enumerate(clusters):
+        for record_id in cluster:
+            cluster_of[record_id] = index
+            cluster_members[index].append(record_id)
+
+    all_records = truth.record_to_entity
+    if not all_records:
+        return BCubedQuality(1.0, 1.0)
+
+    precision_sum = 0.0
+    recall_sum = 0.0
+    clustered = 0
+    # Pre-compute per-cluster entity composition for O(n) scoring.
+    entity_counts: dict[int, Counter[str]] = {
+        index: Counter(truth.entity_of(r) for r in members if r in all_records)
+        for index, members in cluster_members.items()
+    }
+    for record_id, entity_id in all_records.items():
+        index = cluster_of.get(record_id)
+        if index is None:
+            continue  # recall 0, precision undefined → skipped in precision
+        clustered += 1
+        members = cluster_members[index]
+        same_entity = entity_counts[index][entity_id]
+        precision_sum += same_entity / len(members)
+        recall_sum += same_entity / len(truth.records_of(entity_id))
+
+    n = len(all_records)
+    precision = precision_sum / clustered if clustered else 1.0
+    recall = recall_sum / n
+    return BCubedQuality(precision=precision, recall=recall)

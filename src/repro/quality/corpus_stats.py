@@ -1,0 +1,74 @@
+"""Corpus-level statistics: the variety dimension, quantified.
+
+Web-extraction studies characterize heterogeneity with a handful of
+numbers — how many distinct attribute names exist, what fraction
+appear in almost no sources, how common the *most* common attribute
+is. :func:`attribute_tail_statistics` computes exactly those for any
+dataset, so synthetic corpora can be compared against the published
+web statistics (the long tail is the point: most attribute names are
+nearly source-unique).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import Dataset
+from repro.core.errors import EmptyInputError
+
+__all__ = ["AttributeTailStatistics", "attribute_tail_statistics"]
+
+
+@dataclass(frozen=True)
+class AttributeTailStatistics:
+    """The long-tail profile of a corpus's attribute names."""
+
+    n_sources: int
+    n_attribute_names: int
+    fraction_in_one_source: float
+    fraction_in_at_most_10pct: float
+    top_attribute: str
+    top_attribute_source_fraction: float
+    mean_sources_per_attribute: float
+
+    def rows(self) -> list[list[object]]:
+        """Key/value rows for table rendering."""
+        return [
+            ["sources", self.n_sources],
+            ["distinct attribute names", self.n_attribute_names],
+            ["share used by exactly 1 source", self.fraction_in_one_source],
+            [
+                "share used by ≤10% of sources",
+                self.fraction_in_at_most_10pct,
+            ],
+            ["most common attribute", self.top_attribute],
+            [
+                "…present in share of sources",
+                self.top_attribute_source_fraction,
+            ],
+            ["mean sources per attribute", self.mean_sources_per_attribute],
+        ]
+
+
+def attribute_tail_statistics(dataset: Dataset) -> AttributeTailStatistics:
+    """Compute the attribute-name long-tail profile of ``dataset``."""
+    usage = dataset.attribute_usage()
+    if not usage:
+        raise EmptyInputError("dataset has no attributes")
+    n_sources = len(dataset)
+    counts = list(usage.values())
+    n_names = len(counts)
+    one_source = sum(1 for count in counts if count == 1)
+    at_most_10pct = sum(
+        1 for count in counts if count <= max(1, n_sources * 0.10)
+    )
+    top_attribute, top_count = usage.most_common(1)[0]
+    return AttributeTailStatistics(
+        n_sources=n_sources,
+        n_attribute_names=n_names,
+        fraction_in_one_source=one_source / n_names,
+        fraction_in_at_most_10pct=at_most_10pct / n_names,
+        top_attribute=top_attribute,
+        top_attribute_source_fraction=top_count / n_sources,
+        mean_sources_per_attribute=sum(counts) / n_names,
+    )

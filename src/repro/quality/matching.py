@@ -1,0 +1,77 @@
+"""Pairwise match quality: precision, recall, F1 over record pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.ground_truth import GroundTruth
+
+__all__ = ["PairQuality", "pair_quality", "as_pair_set"]
+
+
+@dataclass(frozen=True)
+class PairQuality:
+    """Precision/recall/F1 of a predicted set of matching pairs."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was predicted."""
+        predicted = self.true_positives + self.false_positives
+        return self.true_positives / predicted if predicted else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there is nothing to find."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(tp={self.true_positives}, fp={self.false_positives}, "
+            f"fn={self.false_negatives})"
+        )
+
+
+def as_pair_set(
+    pairs: Iterable[tuple[str, str] | frozenset[str]],
+) -> set[frozenset[str]]:
+    """Normalize pairs to unordered frozensets, dropping self-pairs."""
+    normalized: set[frozenset[str]] = set()
+    for pair in pairs:
+        frozen = frozenset(pair)
+        if len(frozen) == 2:
+            normalized.add(frozen)
+    return normalized
+
+
+def pair_quality(
+    predicted: Iterable[tuple[str, str] | frozenset[str]],
+    truth: GroundTruth | set[frozenset[str]],
+) -> PairQuality:
+    """Score predicted matching pairs against ground truth.
+
+    ``truth`` may be a :class:`GroundTruth` (its matching pairs are
+    enumerated) or a pre-computed set of true pairs.
+    """
+    predicted_set = as_pair_set(predicted)
+    true_set = (
+        truth.matching_pairs() if isinstance(truth, GroundTruth) else truth
+    )
+    true_positives = len(predicted_set & true_set)
+    return PairQuality(
+        true_positives=true_positives,
+        false_positives=len(predicted_set) - true_positives,
+        false_negatives=len(true_set) - true_positives,
+    )

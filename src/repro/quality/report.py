@@ -1,0 +1,67 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints the rows/series its experiment reports; this
+module renders them as aligned monospace tables so the output reads
+like the tables in a paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_cell", "render_table", "render_kv"]
+
+
+def format_cell(value: object, float_digits: int = 3) -> str:
+    """Render one table cell: floats get fixed digits, rest via str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(render_table(["k", "v"], [["a", 1.0]]))
+    k  v
+    -  -----
+    a  1.000
+    """
+    rendered_rows = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_kv(pairs: Iterable[tuple[str, object]], title: str | None = None) -> str:
+    """Render key/value pairs one per line (for experiment headers)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for key, value in pairs:
+        lines.append(f"{key}: {format_cell(value)}")
+    return "\n".join(lines)

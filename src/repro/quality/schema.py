@@ -1,0 +1,81 @@
+"""Schema-alignment quality: correspondence and clustering metrics.
+
+Two source attributes *truly correspond* when ground truth maps both to
+the same mediated attribute. A matcher's output — either explicit
+correspondences or attribute clusters — is scored against that
+relation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.core.dataset import Dataset
+from repro.core.errors import GroundTruthError
+from repro.quality.matching import PairQuality
+
+__all__ = [
+    "true_attribute_pairs",
+    "correspondence_quality",
+    "attribute_cluster_quality",
+]
+
+SourceAttribute = tuple[str, str]  # (source_id, attribute_name)
+
+
+def true_attribute_pairs(
+    dataset: Dataset,
+) -> set[frozenset[SourceAttribute]]:
+    """All unordered source-attribute pairs that truly correspond.
+
+    Pairs within one source are included (a source may render two
+    attributes that mean the same thing), but identical attributes are
+    not paired with themselves.
+    """
+    truth = dataset.ground_truth
+    if truth is None or not truth.attribute_to_mediated:
+        raise GroundTruthError(
+            "dataset lacks attribute-level ground truth"
+        )
+    by_mediated: dict[str, list[SourceAttribute]] = defaultdict(list)
+    for source_attr, mediated in truth.attribute_to_mediated.items():
+        by_mediated[mediated].append(source_attr)
+    pairs: set[frozenset[SourceAttribute]] = set()
+    for attributes in by_mediated.values():
+        ordered = sorted(attributes)
+        for i, left in enumerate(ordered):
+            for right in ordered[i + 1 :]:
+                pairs.add(frozenset((left, right)))
+    return pairs
+
+
+def correspondence_quality(
+    predicted: Iterable[tuple[SourceAttribute, SourceAttribute]],
+    dataset: Dataset,
+) -> PairQuality:
+    """Precision/recall/F1 of predicted attribute correspondences."""
+    true_pairs = true_attribute_pairs(dataset)
+    predicted_set = {
+        frozenset(pair) for pair in predicted if pair[0] != pair[1]
+    }
+    true_positives = len(predicted_set & true_pairs)
+    return PairQuality(
+        true_positives=true_positives,
+        false_positives=len(predicted_set) - true_positives,
+        false_negatives=len(true_pairs) - true_positives,
+    )
+
+
+def attribute_cluster_quality(
+    clusters: Iterable[Iterable[SourceAttribute]],
+    dataset: Dataset,
+) -> PairQuality:
+    """Pairwise quality of attribute clusters against ground truth."""
+    implied: list[tuple[SourceAttribute, SourceAttribute]] = []
+    for cluster in clusters:
+        members = sorted(set(cluster))
+        for i, left in enumerate(members):
+            for right in members[i + 1 :]:
+                implied.append((left, right))
+    return correspondence_quality(implied, dataset)

@@ -1,0 +1,100 @@
+"""Attribute correspondences: scoring, thresholding, 1:1 selection.
+
+Given attribute profiles and a matcher, :func:`score_all_pairs`
+produces the similarity of every cross-source attribute pair;
+:func:`select_correspondences` thresholds them, optionally enforcing a
+1:1 constraint per source pair (each attribute of source A maps to at
+most one attribute of source B — greedy best-first, the standard
+stable-marriage-style cleanup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.errors import ConfigurationError
+from repro.schema.attribute_stats import AttributeProfile, SourceAttribute
+from repro.schema.matchers import AttributeMatcher
+
+__all__ = ["Correspondence", "score_all_pairs", "select_correspondences"]
+
+
+@dataclass(frozen=True)
+class Correspondence:
+    """A scored pair of source attributes believed to correspond."""
+
+    left: SourceAttribute
+    right: SourceAttribute
+    score: float
+
+    def as_pair(self) -> frozenset[SourceAttribute]:
+        """Unordered view for set-based comparison."""
+        return frozenset((self.left, self.right))
+
+
+def score_all_pairs(
+    profiles: Mapping[SourceAttribute, AttributeProfile],
+    matcher: AttributeMatcher,
+    min_score: float = 0.0,
+    cross_source_only: bool = True,
+) -> list[Correspondence]:
+    """Score every attribute pair with ``matcher``.
+
+    Pairs scoring below ``min_score`` are dropped (pass a small positive
+    value to bound the output on wide corpora). With
+    ``cross_source_only`` (default) attributes of the same source are
+    never paired — sources rarely publish true duplicates, and skipping
+    them quarters the work.
+    """
+    keys = sorted(profiles)
+    correspondences: list[Correspondence] = []
+    for i, left_key in enumerate(keys):
+        left = profiles[left_key]
+        for right_key in keys[i + 1 :]:
+            if cross_source_only and right_key[0] == left_key[0]:
+                continue
+            right = profiles[right_key]
+            score = matcher.score(left, right)
+            if score >= min_score and score > 0.0:
+                correspondences.append(
+                    Correspondence(left_key, right_key, score)
+                )
+    return correspondences
+
+
+def select_correspondences(
+    scored: Iterable[Correspondence],
+    threshold: float = 0.6,
+    one_to_one: bool = True,
+) -> list[Correspondence]:
+    """Keep correspondences above ``threshold``.
+
+    With ``one_to_one`` (default) a greedy best-first pass enforces
+    that, per source pair, each attribute participates in at most one
+    correspondence: pairs are taken in descending score order and a
+    pair is kept only when both endpoints are still free with respect
+    to the other's source.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise ConfigurationError("threshold must be in [0, 1]")
+    surviving = [c for c in scored if c.score >= threshold]
+    if not one_to_one:
+        return sorted(
+            surviving, key=lambda c: (-c.score, c.left, c.right)
+        )
+    surviving.sort(key=lambda c: (-c.score, c.left, c.right))
+    taken: set[tuple[SourceAttribute, str]] = set()
+    selected: list[Correspondence] = []
+    for correspondence in surviving:
+        left, right = correspondence.left, correspondence.right
+        # An endpoint is "busy" once matched to *some* attribute of the
+        # other endpoint's source.
+        left_slot = (left, right[0])
+        right_slot = (right, left[0])
+        if left_slot in taken or right_slot in taken:
+            continue
+        taken.add(left_slot)
+        taken.add(right_slot)
+        selected.append(correspondence)
+    return selected

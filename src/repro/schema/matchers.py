@@ -1,0 +1,135 @@
+"""Attribute matchers: name-based, instance-based, and hybrid.
+
+A matcher scores the similarity of two attribute profiles in
+``[0, 1]``. The three families reflect the classical taxonomy:
+
+* :class:`NameMatcher` compares the attribute *names* (string and token
+  similarity) — cheap, blind to synonyms;
+* :class:`InstanceMatcher` compares the attribute *values* (value
+  overlap, token overlap, numeric-scale fingerprints) — finds synonyms,
+  confused by attributes with shared vocabularies;
+* :class:`HybridMatcher` combines both, which is the standard remedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigurationError
+from repro.schema.attribute_stats import AttributeProfile
+from repro.text.similarity import (
+    jaccard_similarity,
+    jaro_winkler_similarity,
+    monge_elkan_similarity,
+)
+
+__all__ = ["AttributeMatcher", "NameMatcher", "InstanceMatcher", "HybridMatcher"]
+
+
+class AttributeMatcher:
+    """Base class: scores two attribute profiles in [0, 1]."""
+
+    name = "matcher"
+
+    def score(self, a: AttributeProfile, b: AttributeProfile) -> float:
+        raise NotImplementedError
+
+
+@dataclass
+class NameMatcher(AttributeMatcher):
+    """Similarity of the attribute *names*.
+
+    The score is the max of character-level (Jaro-Winkler on the
+    normalized name) and token-level (Monge-Elkan over name tokens)
+    similarity, so both ``"colour"``/``"color"`` and
+    ``"display size"``/``"size of display"`` score high.
+    """
+
+    name = "name"
+
+    def score(self, a: AttributeProfile, b: AttributeProfile) -> float:
+        if not a.normalized_name or not b.normalized_name:
+            return 0.0
+        character = jaro_winkler_similarity(
+            a.normalized_name, b.normalized_name
+        )
+        token = monge_elkan_similarity(a.normalized_name, b.normalized_name)
+        return max(character, token)
+
+
+@dataclass
+class InstanceMatcher(AttributeMatcher):
+    """Similarity of the attribute *values*.
+
+    Combines three signals:
+
+    * Jaccard overlap of distinct value strings (dominant for
+      categorical attributes);
+    * Jaccard overlap of value tokens (robust to small format noise);
+    * agreement of numeric-scale fingerprints for numeric attributes
+      (mean log-magnitude in base units), which separates numeric
+      attributes measured on different scales.
+
+    ``numeric_gate`` further suppresses matches between an essentially
+    numeric attribute and an essentially textual one.
+    """
+
+    name = "instance"
+    numeric_gate: float = 0.5
+
+    def score(self, a: AttributeProfile, b: AttributeProfile) -> float:
+        if a.n_records == 0 or b.n_records == 0:
+            return 0.0
+        numeric_a = a.numeric_fraction > self.numeric_gate
+        numeric_b = b.numeric_fraction > self.numeric_gate
+        if numeric_a != numeric_b:
+            return 0.0
+        value_overlap = jaccard_similarity(
+            set(a.values.keys()), set(b.values.keys())
+        )
+        token_overlap = jaccard_similarity(a.value_tokens, b.value_tokens)
+        if numeric_a and numeric_b:
+            scale = self._scale_agreement(a, b)
+            return max(value_overlap, 0.5 * token_overlap + 0.5 * scale)
+        return max(value_overlap, token_overlap)
+
+    @staticmethod
+    def _scale_agreement(a: AttributeProfile, b: AttributeProfile) -> float:
+        log_a = a.numeric_mean_log()
+        log_b = b.numeric_mean_log()
+        if log_a is None or log_b is None:
+            return 0.0
+        gap = abs(log_a - log_b)
+        return max(0.0, 1.0 - gap / 1.5)
+
+
+@dataclass
+class HybridMatcher(AttributeMatcher):
+    """Weighted blend of name and instance evidence.
+
+    With ``name_weight`` w, the score is ``w * name + (1 - w) *
+    instance``, plus a *corroboration bonus*: when both signals agree
+    above their own soft thresholds the score is lifted toward their
+    max, which keeps truly corresponding attributes above one global
+    threshold even when each individual signal is middling.
+    """
+
+    name = "hybrid"
+    name_weight: float = 0.45
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.name_weight <= 1.0:
+            raise ConfigurationError("name_weight must be in [0, 1]")
+        self._name_matcher = NameMatcher()
+        self._instance_matcher = InstanceMatcher()
+
+    def score(self, a: AttributeProfile, b: AttributeProfile) -> float:
+        name_score = self._name_matcher.score(a, b)
+        instance_score = self._instance_matcher.score(a, b)
+        blended = (
+            self.name_weight * name_score
+            + (1.0 - self.name_weight) * instance_score
+        )
+        if name_score > 0.75 and instance_score > 0.4:
+            blended = max(blended, max(name_score, instance_score))
+        return min(1.0, blended)

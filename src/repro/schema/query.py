@@ -1,0 +1,130 @@
+"""Keyword query answering over (probabilistic) mediated schemas.
+
+The schema-alignment experiment scores alignment quality *extrinsically*
+through queries: "return every record cell rendering mediated attribute
+X". A deterministic schema answers with the cells of the matching
+mediated attribute's cluster; a probabilistic schema scores each cell
+by the total probability of the candidate schemas that support it.
+Ground truth supplies the exactly-correct cell set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dataset import Dataset
+from repro.core.errors import GroundTruthError
+from repro.quality.matching import PairQuality
+from repro.schema.mediated import MediatedSchema
+from repro.schema.probabilistic import ProbabilisticMediatedSchema
+from repro.text.normalize import normalize_attribute_name
+
+__all__ = [
+    "Cell",
+    "answer_with_schema",
+    "answer_with_pschema",
+    "answer_without_alignment",
+    "true_answer_cells",
+    "cell_quality",
+]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One retrieved record cell: a record id plus the value returned."""
+
+    record_id: str
+    value: str
+
+
+def _cells_for_attributes(
+    dataset: Dataset, wanted: set[tuple[str, str]]
+) -> set[Cell]:
+    cells: set[Cell] = set()
+    for record in dataset.records():
+        for attribute, value in record.attributes.items():
+            if (record.source_id, attribute) in wanted:
+                cells.add(Cell(record.record_id, value))
+    return cells
+
+
+def answer_with_schema(
+    dataset: Dataset, schema: MediatedSchema, keyword: str
+) -> set[Cell]:
+    """Cells of every mediated attribute matching ``keyword``."""
+    wanted: set[tuple[str, str]] = set()
+    for mediated in schema.find(keyword):
+        wanted.update(mediated.members)
+    return _cells_for_attributes(dataset, wanted)
+
+
+def answer_with_pschema(
+    dataset: Dataset,
+    pschema: ProbabilisticMediatedSchema,
+    keyword: str,
+    min_probability: float = 0.3,
+) -> dict[Cell, float]:
+    """Cells scored by total probability of supporting candidate schemas.
+
+    Only cells whose aggregate probability reaches ``min_probability``
+    are returned (by-table semantics with a confidence cutoff).
+    """
+    weight: dict[tuple[str, str], float] = {}
+    for candidate in pschema.candidates:
+        for mediated in candidate.schema.find(keyword):
+            for member in mediated.members:
+                weight[member] = weight.get(member, 0.0) + candidate.probability
+    wanted = {
+        member for member, probability in weight.items()
+        if probability >= min_probability
+    }
+    cells = _cells_for_attributes(dataset, wanted)
+    scored: dict[Cell, float] = {}
+    for cell in cells:
+        record = dataset.record(cell.record_id)
+        best = 0.0
+        for attribute, value in record.attributes.items():
+            if value != cell.value:
+                continue
+            member = (record.source_id, attribute)
+            best = max(best, weight.get(member, 0.0))
+        scored[cell] = best
+    return scored
+
+
+def answer_without_alignment(dataset: Dataset, keyword: str) -> set[Cell]:
+    """Baseline: cells whose *source* attribute name contains the keyword.
+
+    This is what querying raw sources with no schema alignment gives —
+    the lower bound the mediated-schema experiment compares against.
+    """
+    needle = normalize_attribute_name(keyword)
+    cells: set[Cell] = set()
+    for record in dataset.records():
+        for attribute, value in record.attributes.items():
+            if needle in normalize_attribute_name(attribute):
+                cells.add(Cell(record.record_id, value))
+    return cells
+
+
+def true_answer_cells(dataset: Dataset, mediated_attribute: str) -> set[Cell]:
+    """Ground-truth cells of one mediated attribute."""
+    truth = dataset.ground_truth
+    if truth is None or not truth.attribute_to_mediated:
+        raise GroundTruthError("dataset lacks attribute-level ground truth")
+    wanted = {
+        source_attr
+        for source_attr, mediated in truth.attribute_to_mediated.items()
+        if mediated == mediated_attribute
+    }
+    return _cells_for_attributes(dataset, wanted)
+
+
+def cell_quality(predicted: set[Cell], actual: set[Cell]) -> PairQuality:
+    """Precision/recall/F1 of retrieved cells against the true cells."""
+    true_positives = len(predicted & actual)
+    return PairQuality(
+        true_positives=true_positives,
+        false_positives=len(predicted) - true_positives,
+        false_negatives=len(actual) - true_positives,
+    )

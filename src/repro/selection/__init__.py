@@ -1,0 +1,22 @@
+"""Source selection: profiling, marginal gain, greedy less-is-more."""
+
+from repro.selection.gain import expected_accuracy, marginal_gain, true_accuracy
+from repro.selection.greedy import (
+    GreedySourceSelector,
+    SelectionResult,
+    SelectionStep,
+    baseline_order,
+)
+from repro.selection.profiles import SourceStats, profile_sources
+
+__all__ = [
+    "GreedySourceSelector",
+    "SelectionResult",
+    "SelectionStep",
+    "SourceStats",
+    "baseline_order",
+    "expected_accuracy",
+    "marginal_gain",
+    "profile_sources",
+    "true_accuracy",
+]

@@ -1,0 +1,115 @@
+"""Record-level copier sources for the end-to-end corpus.
+
+Copy detection in fusion reasons about *claim-level* copying (see
+:mod:`repro.synth.claims`); this module provides the corpus-level
+counterpart: whole sources that republish another source's records —
+the aggregator sites and scrapers that make web-scale veracity hard.
+
+A copier source re-publishes a fraction of a parent source's records
+under its own source id (and fresh record ids), optionally perturbing a
+few values. Ground truth is extended accordingly, so linkage and fusion
+evaluation remain exact.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.dataset import Dataset
+from repro.core.errors import ConfigurationError
+from repro.core.ground_truth import GroundTruth
+from repro.core.record import Record
+from repro.core.source import Source
+
+__all__ = ["CopierConfig", "add_copier_sources"]
+
+
+@dataclass(frozen=True)
+class CopierConfig:
+    """Knobs for corpus-level copier injection.
+
+    ``n_copiers`` copier sources are added, each copying
+    ``copy_fraction`` of a randomly chosen parent's records and
+    perturbing each copied value with probability ``perturbation_rate``
+    (modelling scrapers that slightly rewrite what they steal).
+    """
+
+    n_copiers: int = 3
+    copy_fraction: float = 0.8
+    perturbation_rate: float = 0.05
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        if self.n_copiers < 0:
+            raise ConfigurationError("n_copiers must be >= 0")
+        if not 0.0 < self.copy_fraction <= 1.0:
+            raise ConfigurationError("copy_fraction must be in (0, 1]")
+        if not 0.0 <= self.perturbation_rate <= 1.0:
+            raise ConfigurationError("perturbation_rate must be in [0, 1]")
+
+
+def add_copier_sources(
+    dataset: Dataset, config: CopierConfig | None = None
+) -> tuple[Dataset, dict[str, str]]:
+    """Return a new dataset with copier sources appended.
+
+    Returns the extended dataset and the planted ``copier → parent``
+    mapping. Requires ground truth on the input dataset (the copier's
+    records must be attributable to entities).
+    """
+    config = config or CopierConfig()
+    truth = dataset.ground_truth
+    if truth is None:
+        raise ConfigurationError("copier injection requires ground truth")
+    rng = random.Random(config.seed)
+    parents = list(dataset.sources)
+    if not parents:
+        raise ConfigurationError("dataset has no sources to copy from")
+
+    new_sources: list[Source] = list(dataset.sources)
+    record_to_entity = truth.record_to_entity
+    attribute_to_mediated = truth.attribute_to_mediated
+    copier_of: dict[str, str] = {}
+
+    for index in range(config.n_copiers):
+        parent = rng.choice(parents)
+        copier_id = f"copier{index:03d}.example.com"
+        copier_of[copier_id] = parent.source_id
+        copier = Source(
+            copier_id,
+            cost=0.5,
+            metadata={"copies": parent.source_id, **parent.metadata},
+        )
+        for local_index, record in enumerate(parent):
+            if rng.random() >= config.copy_fraction:
+                continue
+            attributes = dict(record.attributes)
+            for name in list(attributes):
+                if rng.random() < config.perturbation_rate:
+                    attributes[name] = attributes[name] + " *"
+            copy = Record(
+                record_id=f"{copier_id}/{local_index:05d}",
+                source_id=copier_id,
+                attributes=attributes,
+                timestamp=record.timestamp,
+            )
+            copier.add(copy)
+            record_to_entity[copy.record_id] = truth.entity_of(
+                record.record_id
+            )
+            for attribute in attributes:
+                mediated = truth.mediated_attribute(
+                    parent.source_id, attribute
+                )
+                if mediated is not None:
+                    attribute_to_mediated[(copier_id, attribute)] = mediated
+        new_sources.append(copier)
+
+    extended_truth = GroundTruth(
+        record_to_entity, truth.true_values, attribute_to_mediated
+    )
+    return (
+        Dataset(new_sources, extended_truth, name=dataset.name),
+        copier_of,
+    )

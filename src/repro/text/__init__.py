@@ -1,0 +1,61 @@
+"""Text substrate: normalization, tokenizers, phonetics, similarities."""
+
+from repro.text.normalize import (
+    Measurement,
+    canonical_value,
+    normalize_attribute_name,
+    normalize_value,
+    normalize_whitespace,
+    parse_measurement,
+    to_base_unit,
+)
+from repro.text.phonetic import soundex
+from repro.text.similarity import (
+    cosine_similarity,
+    damerau_levenshtein_distance,
+    dice_similarity,
+    exact_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    measurement_similarity,
+    monge_elkan_similarity,
+    numeric_similarity,
+    overlap_coefficient,
+    product_name_similarity,
+)
+from repro.text.tfidf import TfidfModel, soft_tfidf_similarity
+from repro.text.tokens import qgrams, shingles, token_counts, word_tokens
+
+__all__ = [
+    "Measurement",
+    "TfidfModel",
+    "canonical_value",
+    "cosine_similarity",
+    "damerau_levenshtein_distance",
+    "dice_similarity",
+    "exact_similarity",
+    "jaccard_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "measurement_similarity",
+    "monge_elkan_similarity",
+    "normalize_attribute_name",
+    "normalize_value",
+    "normalize_whitespace",
+    "numeric_similarity",
+    "overlap_coefficient",
+    "parse_measurement",
+    "product_name_similarity",
+    "qgrams",
+    "shingles",
+    "soft_tfidf_similarity",
+    "soundex",
+    "to_base_unit",
+    "token_counts",
+    "word_tokens",
+]

@@ -1,0 +1,46 @@
+"""Phonetic encodings for sound-alike blocking keys.
+
+Soundex is the classic phonetic blocking key for person and brand
+names; it maps sound-alike spellings (``"smith"``/``"smyth"``) to the
+same 4-character code so typo'd duplicates land in the same block.
+"""
+
+from __future__ import annotations
+
+__all__ = ["soundex"]
+
+_SOUNDEX_CODES = {
+    "b": "1", "f": "1", "p": "1", "v": "1",
+    "c": "2", "g": "2", "j": "2", "k": "2",
+    "q": "2", "s": "2", "x": "2", "z": "2",
+    "d": "3", "t": "3",
+    "l": "4",
+    "m": "5", "n": "5",
+    "r": "6",
+}
+_SOUNDEX_SEPARATORS = {"h", "w"}
+
+
+def soundex(word: str) -> str:
+    """American Soundex code of ``word`` (e.g. ``"robert"`` → ``"R163"``).
+
+    Non-alphabetic characters are ignored; an empty or fully
+    non-alphabetic input yields ``"0000"``.
+    """
+    letters = [c for c in word.lower() if c.isalpha()]
+    if not letters:
+        return "0000"
+    first = letters[0]
+    code = [first.upper()]
+    previous = _SOUNDEX_CODES.get(first, "")
+    for letter in letters[1:]:
+        digit = _SOUNDEX_CODES.get(letter, "")
+        if digit and digit != previous:
+            code.append(digit)
+            if len(code) == 4:
+                break
+        # 'h'/'w' are transparent: the previous code survives across them,
+        # while vowels reset it so repeated consonants re-emit.
+        if letter not in _SOUNDEX_SEPARATORS:
+            previous = digit
+    return "".join(code).ljust(4, "0")

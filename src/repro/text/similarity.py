@@ -1,0 +1,310 @@
+"""String and value similarity functions.
+
+Every function returns a similarity in ``[0, 1]`` (1 = identical) so
+that comparators can mix them freely. Edit-distance primitives are also
+exposed raw for callers that need counts.
+
+The toolbox covers the families the record-linkage literature relies
+on: edit-based (Levenshtein, Damerau, Jaro, Jaro-Winkler), token-based
+(Jaccard, Dice, overlap, cosine), hybrid (Monge-Elkan), and typed
+(numeric with relative tolerance, measurements with unit conversion).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Iterable
+
+from repro.text.normalize import parse_measurement
+from repro.text.tokens import word_tokens
+
+__all__ = [
+    "levenshtein_distance",
+    "damerau_levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "jaccard_similarity",
+    "dice_similarity",
+    "overlap_coefficient",
+    "cosine_similarity",
+    "monge_elkan_similarity",
+    "numeric_similarity",
+    "measurement_similarity",
+    "exact_similarity",
+    "product_name_similarity",
+]
+
+StringSimilarity = Callable[[str, str], float]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of single-character edits transforming ``a`` → ``b``."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) > len(b):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j]
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[i] + 1,      # deletion
+                    current[i - 1] + 1,   # insertion
+                    previous[i - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance that additionally allows adjacent transpositions."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    # Optimal string alignment variant: O(len(a) * len(b)), three rows.
+    two_ago: list[int] | None = None
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            best = min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + cost,
+            )
+            if (
+                two_ago is not None
+                and i > 1
+                and j > 1
+                and ca == b[j - 2]
+                and a[i - 2] == cb
+            ):
+                best = min(best, two_ago[j - 2] + 1)
+            current.append(best)
+        two_ago, previous = previous, current
+    return previous[-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Levenshtein distance normalized to a similarity in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    longest = max(len(a), len(b))
+    return 1.0 - levenshtein_distance(a, b) / longest
+
+
+def jaro_similarity(a: str, b: str) -> float:
+    """Jaro similarity: matches within half the longer length, plus
+    transposition penalty."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+    matches = 0
+    for i, ca in enumerate(a):
+        low = max(0, i - window)
+        high = min(len(b), i + window + 1)
+        for j in range(low, high):
+            if not b_flags[j] and b[j] == ca:
+                a_flags[i] = True
+                b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+    a_matched = [c for c, flag in zip(a, a_flags) if flag]
+    b_matched = [c for c, flag in zip(b, b_flags) if flag]
+    transpositions = (
+        sum(ca != cb for ca, cb in zip(a_matched, b_matched)) // 2
+    )
+    return (
+        matches / len(a)
+        + matches / len(b)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float:
+    """Jaro similarity boosted for a shared prefix of up to 4 characters."""
+    if not 0.0 <= prefix_weight <= 0.25:
+        raise ValueError(
+            f"prefix_weight must be in [0, 0.25], got {prefix_weight}"
+        )
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ca, cb in zip(a[:4], b[:4]):
+        if ca != cb:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_weight * (1.0 - jaro)
+
+
+def _as_set(value: str | Iterable[str]) -> set[str]:
+    if isinstance(value, str):
+        return set(word_tokens(value))
+    return set(value)
+
+
+def jaccard_similarity(a: str | Iterable[str], b: str | Iterable[str]) -> float:
+    """|A ∩ B| / |A ∪ B| over word tokens (or pre-tokenized iterables)."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def dice_similarity(a: str | Iterable[str], b: str | Iterable[str]) -> float:
+    """2|A ∩ B| / (|A| + |B|) over word tokens."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    total = len(set_a) + len(set_b)
+    if total == 0:
+        return 0.0
+    return 2.0 * len(set_a & set_b) / total
+
+
+def overlap_coefficient(a: str | Iterable[str], b: str | Iterable[str]) -> float:
+    """|A ∩ B| / min(|A|, |B|) over word tokens."""
+    set_a, set_b = _as_set(a), _as_set(b)
+    if not set_a and not set_b:
+        return 1.0
+    smaller = min(len(set_a), len(set_b))
+    if smaller == 0:
+        return 0.0
+    return len(set_a & set_b) / smaller
+
+
+def cosine_similarity(a: Counter[str] | str, b: Counter[str] | str) -> float:
+    """Cosine of token-count vectors (strings are word-tokenized)."""
+    counts_a = a if isinstance(a, Counter) else Counter(word_tokens(a))
+    counts_b = b if isinstance(b, Counter) else Counter(word_tokens(b))
+    if not counts_a and not counts_b:
+        return 1.0
+    if not counts_a or not counts_b:
+        return 0.0
+    shared = counts_a.keys() & counts_b.keys()
+    dot = sum(counts_a[t] * counts_b[t] for t in shared)
+    norm_a = math.sqrt(sum(v * v for v in counts_a.values()))
+    norm_b = math.sqrt(sum(v * v for v in counts_b.values()))
+    return dot / (norm_a * norm_b)
+
+
+def monge_elkan_similarity(
+    a: str,
+    b: str,
+    inner: StringSimilarity = jaro_winkler_similarity,
+) -> float:
+    """Average best inner similarity of each token of ``a`` against ``b``.
+
+    Asymmetric in principle; this implementation symmetrizes by
+    averaging both directions, which is the common practice.
+    """
+    tokens_a = word_tokens(a)
+    tokens_b = word_tokens(b)
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+
+    def directed(xs: list[str], ys: list[str]) -> float:
+        return sum(max(inner(x, y) for y in ys) for x in xs) / len(xs)
+
+    return (directed(tokens_a, tokens_b) + directed(tokens_b, tokens_a)) / 2.0
+
+
+def numeric_similarity(a: float, b: float, tolerance: float = 0.1) -> float:
+    """1 at equality, linearly decaying to 0 at ``tolerance`` relative gap.
+
+    The gap is relative to the larger magnitude, so the function is
+    symmetric and scale-free. ``tolerance=0.1`` means values 10% apart
+    (or more) score 0.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    if a == b:
+        return 1.0
+    scale = max(abs(a), abs(b))
+    if scale == 0.0:
+        return 1.0
+    relative_gap = abs(a - b) / scale
+    return max(0.0, 1.0 - relative_gap / tolerance)
+
+
+def measurement_similarity(a: str, b: str, tolerance: float = 0.05) -> float:
+    """Similarity of two measurement strings after unit normalization.
+
+    ``"5.5 in"`` vs ``"13.97 cm"`` score 1.0. Falls back to normalized
+    Levenshtein when either side fails to parse as a measurement, so it
+    is safe to apply to arbitrary value strings.
+    """
+    meas_a = parse_measurement(a)
+    meas_b = parse_measurement(b)
+    if meas_a is None or meas_b is None:
+        return levenshtein_similarity(a.lower().strip(), b.lower().strip())
+    base_a = meas_a.in_base_unit()
+    base_b = meas_b.in_base_unit()
+    if base_a.unit != base_b.unit:
+        return 0.0
+    return numeric_similarity(base_a.value, base_b.value, tolerance=tolerance)
+
+
+def exact_similarity(a: str, b: str) -> float:
+    """1.0 iff the strings are identical, else 0.0."""
+    return 1.0 if a == b else 0.0
+
+
+def _numeric_tokens(text: str) -> set[str]:
+    return {
+        token
+        for token in word_tokens(text)
+        if any(character.isdigit() for character in token)
+    }
+
+
+def product_name_similarity(a: str, b: str) -> float:
+    """Name similarity where mismatched model numbers are near-fatal.
+
+    Product names share long brand/series prefixes ("canon pro 512" vs
+    "canon pro 3"), so plain token similarity over-matches. This
+    measure starts from Monge-Elkan and multiplies in the agreement of
+    the *numeric* tokens (soft-matched with Jaro-Winkler ≥ 0.8 so a
+    typo'd digit still counts): names whose model numbers disagree are
+    pushed well below any sensible match threshold.
+    """
+    base = monge_elkan_similarity(a, b)
+    numbers_a = _numeric_tokens(a)
+    numbers_b = _numeric_tokens(b)
+    if not numbers_a and not numbers_b:
+        return base
+    if not numbers_a or not numbers_b:
+        return base * 0.7
+    matched = 0
+    for token_a in numbers_a:
+        if any(
+            jaro_winkler_similarity(token_a, token_b) >= 0.8
+            for token_b in numbers_b
+        ):
+            matched += 1
+    overlap = matched / max(len(numbers_a), len(numbers_b))
+    return base * (0.25 + 0.75 * overlap)

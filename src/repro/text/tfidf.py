@@ -1,0 +1,128 @@
+"""Corpus-level TF-IDF weighting and soft TF-IDF similarity.
+
+Plain token overlap over-rewards frequent, uninformative tokens
+(``"new"``, ``"black"``); TF-IDF down-weights them by corpus
+frequency. Soft TF-IDF (Cohen, Ravikumar, Fienberg) additionally
+credits *close* tokens (``"panasonc"`` ≈ ``"panasonic"``), combining
+the robustness of edit distance with the discrimination of IDF.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Callable, Iterable, Mapping
+
+from repro.core.errors import EmptyInputError
+from repro.text.similarity import jaro_winkler_similarity
+from repro.text.tokens import word_tokens
+
+__all__ = ["TfidfModel", "soft_tfidf_similarity"]
+
+
+class TfidfModel:
+    """TF-IDF vectorizer fit on a corpus of documents.
+
+    Parameters
+    ----------
+    documents:
+        The corpus; each document is a string (word-tokenized) or a
+        pre-tokenized iterable of tokens.
+
+    IDF uses the smoothed form ``log((1 + N) / (1 + df)) + 1`` so unseen
+    tokens still receive a positive (maximal) weight.
+    """
+
+    def __init__(self, documents: Iterable[str | Iterable[str]]) -> None:
+        document_frequency: Counter[str] = Counter()
+        n_documents = 0
+        for document in documents:
+            tokens = self._tokenize(document)
+            document_frequency.update(set(tokens))
+            n_documents += 1
+        if n_documents == 0:
+            raise EmptyInputError("TfidfModel requires at least one document")
+        self._n_documents = n_documents
+        self._idf: dict[str, float] = {
+            token: math.log((1 + n_documents) / (1 + df)) + 1.0
+            for token, df in document_frequency.items()
+        }
+        self._default_idf = math.log(1 + n_documents) + 1.0
+
+    @staticmethod
+    def _tokenize(document: str | Iterable[str]) -> list[str]:
+        if isinstance(document, str):
+            return word_tokens(document)
+        return list(document)
+
+    @property
+    def n_documents(self) -> int:
+        """Number of documents the model was fit on."""
+        return self._n_documents
+
+    def idf(self, token: str) -> float:
+        """IDF weight of ``token`` (maximal for unseen tokens)."""
+        return self._idf.get(token, self._default_idf)
+
+    def vector(self, document: str | Iterable[str]) -> dict[str, float]:
+        """L2-normalized TF-IDF vector of ``document``."""
+        counts = Counter(self._tokenize(document))
+        weights = {
+            token: count * self.idf(token) for token, count in counts.items()
+        }
+        norm = math.sqrt(sum(w * w for w in weights.values()))
+        if norm == 0.0:
+            return {}
+        return {token: w / norm for token, w in weights.items()}
+
+    def similarity(
+        self, a: str | Iterable[str], b: str | Iterable[str]
+    ) -> float:
+        """Cosine similarity of the two documents' TF-IDF vectors."""
+        vec_a = self.vector(a)
+        vec_b = self.vector(b)
+        if not vec_a and not vec_b:
+            return 1.0
+        shared = vec_a.keys() & vec_b.keys()
+        return sum(vec_a[t] * vec_b[t] for t in shared)
+
+
+def soft_tfidf_similarity(
+    a: str,
+    b: str,
+    model: TfidfModel,
+    inner: Callable[[str, str], float] = jaro_winkler_similarity,
+    threshold: float = 0.9,
+) -> float:
+    """Soft TF-IDF: TF-IDF cosine where tokens match softly via ``inner``.
+
+    A token pair contributes when ``inner(token_a, token_b) >=
+    threshold``, weighted by both tokens' normalized TF-IDF weight and
+    the inner similarity itself. Symmetrized by averaging both
+    directions.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    vec_a = model.vector(a)
+    vec_b = model.vector(b)
+    if not vec_a and not vec_b:
+        return 1.0
+    if not vec_a or not vec_b:
+        return 0.0
+
+    def directed(
+        from_vec: Mapping[str, float], to_vec: Mapping[str, float]
+    ) -> float:
+        total = 0.0
+        for token_a, weight_a in from_vec.items():
+            best_sim = 0.0
+            best_weight = 0.0
+            for token_b, weight_b in to_vec.items():
+                sim = inner(token_a, token_b)
+                if sim >= threshold and sim > best_sim:
+                    best_sim = sim
+                    best_weight = weight_b
+            total += weight_a * best_weight * best_sim
+        return total
+
+    return (directed(vec_a, vec_b) + directed(vec_b, vec_a)) / 2.0

@@ -1,0 +1,63 @@
+"""Tokenizers used by blocking, schema matching, and similarity.
+
+Three token granularities cover all consumers in the library:
+
+* **word tokens** — for token blocking and set similarities;
+* **q-grams** — character n-grams for typo-robust blocking and matching;
+* **shingles** — word n-grams for longer text fields.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Iterable
+
+__all__ = ["word_tokens", "qgrams", "shingles", "token_counts"]
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+
+def word_tokens(text: str) -> list[str]:
+    """Lowercased alphanumeric word tokens, in order of appearance."""
+    return _WORD.findall(text.lower())
+
+
+def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
+    """Character q-grams of ``text``.
+
+    With ``pad=True`` (the default) the string is padded with ``q - 1``
+    ``#``/``$`` sentinels on each side, so that prefixes and suffixes
+    generate distinguishable grams — the standard construction for
+    q-gram blocking.
+
+    >>> qgrams("abc", q=2)
+    ['#a', 'ab', 'bc', 'c$']
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    lowered = text.lower()
+    if pad and q > 1:
+        lowered = "#" * (q - 1) + lowered + "$" * (q - 1)
+    if len(lowered) < q:
+        return [lowered] if lowered else []
+    return [lowered[i : i + q] for i in range(len(lowered) - q + 1)]
+
+
+def shingles(text: str, n: int = 2) -> list[str]:
+    """Word n-grams of ``text``.
+
+    >>> shingles("big data integration", n=2)
+    ['big data', 'data integration']
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    words = word_tokens(text)
+    if len(words) < n:
+        return [" ".join(words)] if words else []
+    return [" ".join(words[i : i + n]) for i in range(len(words) - n + 1)]
+
+
+def token_counts(tokens: Iterable[str]) -> Counter[str]:
+    """Multiset view of a token sequence (for cosine/TF-IDF)."""
+    return Counter(tokens)

@@ -1,0 +1,18 @@
+"""Velocity substrate: corpus snapshots, diffing, incremental maintenance."""
+
+from repro.velocity.incremental_pipeline import SnapshotCost, SnapshotMaintainer
+from repro.velocity.snapshots import (
+    SnapshotConfig,
+    SnapshotDiff,
+    diff_datasets,
+    render_snapshots,
+)
+
+__all__ = [
+    "SnapshotConfig",
+    "SnapshotCost",
+    "SnapshotDiff",
+    "SnapshotMaintainer",
+    "diff_datasets",
+    "render_snapshots",
+]

@@ -1,0 +1,259 @@
+"""Corpus snapshots over time: rendering, diffing, survival statistics.
+
+The velocity dimension is about *churn*: sources appear and die, pages
+appear and die, surviving pages change content. This module renders an
+evolving world through a churning source population into successive
+:class:`~repro.core.dataset.Dataset` snapshots with *stable record
+ids* (``source/entity``), so snapshots can be diffed exactly — the
+analogue of re-crawling a URL list and counting what still resolves.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.dataset import Dataset
+from repro.core.errors import ConfigurationError
+from repro.core.ground_truth import GroundTruth
+from repro.core.record import Record
+from repro.core.source import Source
+from repro.synth.sources import (
+    CorpusConfig,
+    SourceProfile,
+    build_source_profiles,
+    render_value,
+)
+from repro.synth.world import World
+
+__all__ = ["SnapshotConfig", "SnapshotDiff", "diff_datasets", "render_snapshots"]
+
+
+@dataclass(frozen=True)
+class SnapshotConfig:
+    """Churn knobs for snapshot rendering.
+
+    Per snapshot step, each source dies with probability
+    ``source_death_rate`` (replaced by a fresh source when
+    ``replace_sources``); each of a surviving source's pages dies with
+    probability ``page_death_rate``; and new pages for entities the
+    source didn't cover appear at ``page_birth_rate`` (as a fraction of
+    its current page count).
+    """
+
+    source_death_rate: float = 0.1
+    page_death_rate: float = 0.15
+    page_birth_rate: float = 0.1
+    replace_sources: bool = True
+    seed: int = 31
+
+    def __post_init__(self) -> None:
+        for name in (
+            "source_death_rate",
+            "page_death_rate",
+            "page_birth_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class SnapshotDiff:
+    """Exact difference between two snapshots."""
+
+    added_sources: tuple[str, ...]
+    removed_sources: tuple[str, ...]
+    added_records: tuple[str, ...]
+    removed_records: tuple[str, ...]
+    changed_records: tuple[str, ...]
+    unchanged_records: int
+
+    @property
+    def record_survival(self) -> float:
+        """Fraction of old records still present (changed or not)."""
+        old_total = (
+            len(self.removed_records)
+            + len(self.changed_records)
+            + self.unchanged_records
+        )
+        if old_total == 0:
+            return 1.0
+        return (
+            len(self.changed_records) + self.unchanged_records
+        ) / old_total
+
+
+def diff_datasets(old: Dataset, new: Dataset) -> SnapshotDiff:
+    """Diff two snapshots by source id and record id."""
+    old_sources = set(old.source_ids)
+    new_sources = set(new.source_ids)
+    old_ids = set(old.record_ids())
+    new_ids = set(new.record_ids())
+    changed: list[str] = []
+    unchanged = 0
+    for record_id in sorted(old_ids & new_ids):
+        before = dict(old.record(record_id).attributes)
+        after = dict(new.record(record_id).attributes)
+        if before != after:
+            changed.append(record_id)
+        else:
+            unchanged += 1
+    return SnapshotDiff(
+        added_sources=tuple(sorted(new_sources - old_sources)),
+        removed_sources=tuple(sorted(old_sources - new_sources)),
+        added_records=tuple(sorted(new_ids - old_ids)),
+        removed_records=tuple(sorted(old_ids - new_ids)),
+        changed_records=tuple(changed),
+        unchanged_records=unchanged,
+    )
+
+
+@dataclass
+class _SourceState:
+    profile: SourceProfile
+    covered: list[str] = field(default_factory=list)  # entity ids
+
+
+def render_snapshots(
+    world_snapshots: Sequence[World],
+    corpus_config: CorpusConfig | None = None,
+    snapshot_config: SnapshotConfig | None = None,
+) -> list[Dataset]:
+    """Render evolving-world snapshots through a churning source set.
+
+    Record ids are ``source/entity`` and therefore stable: the same id
+    in consecutive snapshots is the same page, re-crawled. Ground
+    truth (record → entity plus true values) is attached per snapshot.
+    """
+    if not world_snapshots:
+        raise ConfigurationError("at least one world snapshot required")
+    corpus_config = corpus_config or CorpusConfig()
+    snapshot_config = snapshot_config or SnapshotConfig()
+    rng = random.Random(snapshot_config.seed)
+    world0 = world_snapshots[0]
+    profiles = build_source_profiles(world0, corpus_config)
+    next_offset = corpus_config.n_sources
+
+    states: list[_SourceState] = []
+    for index, profile in enumerate(profiles):
+        state = _SourceState(profile=profile)
+        category = world0.categories[index % len(world0.categories)]
+        candidates = list(world0.entities_in(category))
+        rng.shuffle(candidates)
+        size = rng.randint(
+            corpus_config.min_source_size,
+            min(corpus_config.max_source_size, len(candidates)),
+        )
+        state.covered = [entity.entity_id for entity in candidates[:size]]
+        states.append(state)
+
+    datasets: list[Dataset] = []
+    for step, world in enumerate(world_snapshots):
+        if step > 0:
+            survivors: list[_SourceState] = []
+            for state in states:
+                if rng.random() < snapshot_config.source_death_rate:
+                    if snapshot_config.replace_sources:
+                        replacement = build_source_profiles(
+                            world0,
+                            corpus_config,
+                            n_profiles=1,
+                            id_offset=next_offset,
+                        )[0]
+                        next_offset += 1
+                        new_state = _SourceState(profile=replacement)
+                        category = world0.categories[
+                            (next_offset - 1) % len(world0.categories)
+                        ]
+                        pool = [
+                            entity.entity_id
+                            for entity in world.entities_in(category)
+                        ]
+                        rng.shuffle(pool)
+                        new_state.covered = pool[
+                            : rng.randint(
+                                corpus_config.min_source_size,
+                                max(
+                                    corpus_config.min_source_size,
+                                    min(
+                                        corpus_config.max_source_size,
+                                        len(pool),
+                                    ),
+                                ),
+                            )
+                        ]
+                        survivors.append(new_state)
+                    continue
+                # Page churn for surviving sources.
+                alive_entities = {
+                    entity.entity_id for entity in world.entities
+                }
+                kept = [
+                    entity_id
+                    for entity_id in state.covered
+                    if entity_id in alive_entities
+                    and rng.random() >= snapshot_config.page_death_rate
+                ]
+                births = int(
+                    round(len(kept) * snapshot_config.page_birth_rate)
+                )
+                uncovered = [
+                    entity.entity_id
+                    for entity in world.entities
+                    if entity.entity_id not in set(kept)
+                ]
+                rng.shuffle(uncovered)
+                state.covered = kept + uncovered[:births]
+                survivors.append(state)
+            states = survivors
+
+        sources: list[Source] = []
+        record_to_entity: dict[str, str] = {}
+        true_values: dict[tuple[str, str], str] = {}
+        attribute_map: dict[tuple[str, str], str] = {}
+        for entity in world.entities:
+            for attribute, value in entity.true_values.items():
+                true_values[(entity.entity_id, attribute)] = value
+        for state in states:
+            profile = state.profile
+            source = Source(
+                profile.source_id, metadata={"snapshot": str(step)}
+            )
+            alive = {entity.entity_id for entity in world.entities}
+            for entity_id in state.covered:
+                if entity_id not in alive:
+                    continue
+                entity = world.entity(entity_id)
+                vocabulary = world.vocabulary(entity.category)
+                attributes: dict[str, str] = {}
+                name_attr = profile.dialect.get("name", "name")
+                attributes[name_attr] = entity.name
+                attribute_map[(profile.source_id, name_attr)] = "name"
+                for mediated in profile.rendered_attributes:
+                    spec = vocabulary.spec(mediated)
+                    if spec.kind == "identifier" and not (
+                        profile.publishes_identifier
+                    ):
+                        continue
+                    rendered = render_value(
+                        spec, entity.true_values[mediated], profile
+                    )
+                    source_attr = profile.dialect[mediated]
+                    attributes[source_attr] = rendered
+                    attribute_map[(profile.source_id, source_attr)] = mediated
+                record = Record(
+                    record_id=f"{profile.source_id}/{entity_id}",
+                    source_id=profile.source_id,
+                    attributes=attributes,
+                    timestamp=float(step),
+                )
+                source.add(record)
+                record_to_entity[record.record_id] = entity_id
+            sources.append(source)
+        truth = GroundTruth(record_to_entity, true_values, attribute_map)
+        datasets.append(
+            Dataset(sources, truth, name=f"snapshot-{step}")
+        )
+    return datasets

@@ -1,0 +1,72 @@
+"""Unit tests for GroundTruth."""
+
+import pytest
+
+from repro.core import GroundTruth, GroundTruthError
+
+
+@pytest.fixture
+def truth():
+    return GroundTruth(
+        {"r1": "e1", "r2": "e1", "r3": "e2", "r4": "e1"},
+        true_values={("e1", "color"): "red"},
+        attribute_to_mediated={("s1", "colour"): "color"},
+    )
+
+
+class TestEntityLookup:
+    def test_entity_of(self, truth):
+        assert truth.entity_of("r1") == "e1"
+
+    def test_unknown_record_raises(self, truth):
+        with pytest.raises(GroundTruthError):
+            truth.entity_of("nope")
+
+    def test_records_of(self, truth):
+        assert truth.records_of("e1") == frozenset({"r1", "r2", "r4"})
+        assert truth.records_of("missing") == frozenset()
+
+    def test_are_match(self, truth):
+        assert truth.are_match("r1", "r2")
+        assert not truth.are_match("r1", "r3")
+
+
+class TestPairsAndClusters:
+    def test_matching_pairs_count(self, truth):
+        # e1 has 3 records → C(3,2)=3 pairs; e2 has 1 record → 0 pairs.
+        assert len(truth.matching_pairs()) == 3
+
+    def test_matching_pairs_content(self, truth):
+        assert frozenset(("r1", "r2")) in truth.matching_pairs()
+        assert frozenset(("r1", "r3")) not in truth.matching_pairs()
+
+    def test_true_clusters_partition_records(self, truth):
+        clusters = truth.true_clusters()
+        flattened = [r for c in clusters for r in c]
+        assert sorted(flattened) == ["r1", "r2", "r3", "r4"]
+        assert len(clusters) == 2
+
+
+class TestValueAndSchemaTruth:
+    def test_true_value(self, truth):
+        assert truth.true_value("e1", "color") == "red"
+        assert truth.true_value("e1", "size") is None
+
+    def test_mediated_attribute(self, truth):
+        assert truth.mediated_attribute("s1", "colour") == "color"
+        assert truth.mediated_attribute("s1", "nope") is None
+
+
+class TestRestriction:
+    def test_restricted_to_subset(self, truth):
+        sub = truth.restricted_to(["r1", "r3"])
+        assert len(sub) == 2
+        assert sub.records_of("e1") == frozenset({"r1"})
+
+    def test_restricted_to_unknown_raises(self, truth):
+        with pytest.raises(GroundTruthError):
+            truth.restricted_to(["r1", "ghost"])
+
+    def test_restriction_preserves_values(self, truth):
+        sub = truth.restricted_to(["r1"])
+        assert sub.true_value("e1", "color") == "red"

@@ -1,0 +1,97 @@
+"""Unit tests for the Record data model."""
+
+import pytest
+
+from repro.core import DataModelError, Record
+
+
+def make_record(**overrides):
+    defaults = dict(
+        record_id="s1/001",
+        source_id="s1",
+        attributes={"name": "canon pro 5", "color": "black"},
+    )
+    defaults.update(overrides)
+    return Record(**defaults)
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        record = make_record(timestamp=3.0)
+        assert record.record_id == "s1/001"
+        assert record.source_id == "s1"
+        assert record.timestamp == 3.0
+        assert record["color"] == "black"
+
+    def test_empty_record_id_rejected(self):
+        with pytest.raises(DataModelError):
+            make_record(record_id="")
+
+    def test_empty_source_id_rejected(self):
+        with pytest.raises(DataModelError):
+            make_record(source_id="")
+
+    def test_non_string_value_rejected(self):
+        with pytest.raises(DataModelError):
+            make_record(attributes={"pages": 42})
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(DataModelError):
+            make_record(attributes={"": "x"})
+
+    def test_attributes_are_read_only(self):
+        record = make_record()
+        with pytest.raises(TypeError):
+            record.attributes["color"] = "red"
+
+    def test_mutating_input_dict_does_not_affect_record(self):
+        attrs = {"name": "a"}
+        record = Record("r1", "s1", attrs)
+        attrs["name"] = "b"
+        assert record["name"] == "a"
+
+
+class TestAccessors:
+    def test_get_with_default(self):
+        record = make_record()
+        assert record.get("missing") is None
+        assert record.get("missing", "d") == "d"
+
+    def test_contains_iter_len(self):
+        record = make_record()
+        assert "name" in record
+        assert "missing" not in record
+        assert set(iter(record)) == {"name", "color"}
+        assert len(record) == 2
+
+    def test_text_concatenates_values(self):
+        record = make_record()
+        text = record.text()
+        assert "canon pro 5" in text
+        assert "black" in text
+
+    def test_with_attributes_returns_new_record(self):
+        record = make_record()
+        updated = record.with_attributes({"name": "x"})
+        assert updated.record_id == record.record_id
+        assert updated["name"] == "x"
+        assert record["name"] == "canon pro 5"
+
+
+class TestEqualityHashing:
+    def test_equal_by_content(self):
+        assert make_record() == make_record()
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(make_record()) == hash(make_record())
+
+    def test_unequal_on_value_change(self):
+        assert make_record() != make_record(
+            attributes={"name": "canon pro 5", "color": "red"}
+        )
+
+    def test_unequal_on_timestamp(self):
+        assert make_record(timestamp=1.0) != make_record(timestamp=2.0)
+
+    def test_usable_in_set(self):
+        assert len({make_record(), make_record()}) == 1

@@ -1,0 +1,107 @@
+"""Unit tests for Source and Dataset."""
+
+import pytest
+
+from repro.core import (
+    DataModelError,
+    Dataset,
+    GroundTruth,
+    Record,
+    Source,
+    UnknownRecordError,
+    UnknownSourceError,
+)
+
+
+def record(rid, sid, **attrs):
+    return Record(rid, sid, {k: str(v) for k, v in attrs.items()})
+
+
+@pytest.fixture
+def two_source_dataset():
+    s1 = Source(
+        "s1",
+        [record("s1/0", "s1", name="a", color="red"),
+         record("s1/1", "s1", name="b")],
+    )
+    s2 = Source("s2", [record("s2/0", "s2", title="a2", colour="red")])
+    truth = GroundTruth({"s1/0": "e0", "s1/1": "e1", "s2/0": "e0"})
+    return Dataset([s1, s2], truth, name="mini")
+
+
+class TestSource:
+    def test_rejects_foreign_record(self):
+        source = Source("s1")
+        with pytest.raises(DataModelError):
+            source.add(record("s2/0", "s2", name="x"))
+
+    def test_rejects_duplicate_record_id(self):
+        source = Source("s1", [record("s1/0", "s1", name="x")])
+        with pytest.raises(DataModelError):
+            source.add(record("s1/0", "s1", name="y"))
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(DataModelError):
+            Source("s1", cost=-1.0)
+
+    def test_attribute_names_union(self):
+        source = Source(
+            "s1",
+            [record("s1/0", "s1", name="x"),
+             record("s1/1", "s1", name="y", color="red")],
+        )
+        assert source.attribute_names() == {"name", "color"}
+
+    def test_get_and_contains(self):
+        source = Source("s1", [record("s1/0", "s1", name="x")])
+        assert source.get("s1/0") is not None
+        assert "s1/0" in source
+        assert source.get("nope") is None
+
+
+class TestDataset:
+    def test_record_lookup(self, two_source_dataset):
+        assert two_source_dataset.record("s2/0")["title"] == "a2"
+
+    def test_unknown_record_raises(self, two_source_dataset):
+        with pytest.raises(UnknownRecordError):
+            two_source_dataset.record("nope")
+
+    def test_unknown_source_raises(self, two_source_dataset):
+        with pytest.raises(UnknownSourceError):
+            two_source_dataset.source("nope")
+
+    def test_duplicate_source_ids_rejected(self):
+        with pytest.raises(DataModelError):
+            Dataset([Source("s1"), Source("s1")])
+
+    def test_n_records_and_iteration(self, two_source_dataset):
+        assert two_source_dataset.n_records == 3
+        assert len(list(two_source_dataset.records())) == 3
+
+    def test_attribute_usage_counts_sources_not_records(
+        self, two_source_dataset
+    ):
+        usage = two_source_dataset.attribute_usage()
+        assert usage["name"] == 1  # only s1 uses 'name'
+        assert usage["color"] == 1
+        assert usage["colour"] == 1
+
+    def test_with_sources_projects_ground_truth(self, two_source_dataset):
+        sliced = two_source_dataset.with_sources(["s1"])
+        assert sliced.n_records == 2
+        assert sliced.ground_truth is not None
+        assert set(sliced.ground_truth.record_to_entity) == {"s1/0", "s1/1"}
+
+    def test_merged_with_rejects_shared_sources(self, two_source_dataset):
+        with pytest.raises(DataModelError):
+            two_source_dataset.merged_with(two_source_dataset)
+
+    def test_merged_with_combines_truth(self, two_source_dataset):
+        extra = Dataset(
+            [Source("s3", [record("s3/0", "s3", name="z")])],
+            GroundTruth({"s3/0": "e9"}),
+        )
+        merged = two_source_dataset.merged_with(extra)
+        assert merged.n_records == 4
+        assert merged.ground_truth.entity_of("s3/0") == "e9"

@@ -1,0 +1,107 @@
+"""Tests for corpus statistics and custom-attribute generation."""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    Dataset,
+    EmptyInputError,
+    Record,
+    Source,
+)
+from repro.quality import attribute_tail_statistics
+from repro.synth import (
+    CorpusConfig,
+    WorldConfig,
+    generate_dataset,
+    generate_world,
+)
+
+
+class TestAttributeTailStatistics:
+    def test_tiny_handmade_corpus(self):
+        s1 = Source("s1", [Record("s1/0", "s1", {"a": "1", "b": "2"})])
+        s2 = Source("s2", [Record("s2/0", "s2", {"a": "1", "c": "3"})])
+        stats = attribute_tail_statistics(Dataset([s1, s2]))
+        assert stats.n_sources == 2
+        assert stats.n_attribute_names == 3
+        assert stats.fraction_in_one_source == pytest.approx(2 / 3)
+        assert stats.top_attribute == "a"
+        assert stats.top_attribute_source_fraction == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            attribute_tail_statistics(Dataset([Source("s1")]))
+
+    def test_rows_renderable(self):
+        s1 = Source("s1", [Record("s1/0", "s1", {"a": "1"})])
+        stats = attribute_tail_statistics(Dataset([s1]))
+        assert len(stats.rows()) == 7
+
+
+class TestCustomAttributes:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        world = generate_world(
+            WorldConfig(
+                categories=("camera",), entities_per_category=30, seed=3
+            )
+        )
+        return generate_dataset(
+            world,
+            CorpusConfig(
+                n_sources=10, max_custom_attributes=5, seed=5
+            ),
+        )
+
+    def test_custom_attributes_appear(self, corpus):
+        truth = corpus.ground_truth
+        custom = [
+            key
+            for key, mediated in truth.attribute_to_mediated.items()
+            if mediated.startswith("custom::")
+        ]
+        assert custom, "expected at least one custom attribute"
+
+    def test_custom_attributes_are_source_local_in_truth(self, corpus):
+        truth = corpus.ground_truth
+        for (source, attribute), mediated in (
+            truth.attribute_to_mediated.items()
+        ):
+            if mediated.startswith("custom::"):
+                assert mediated == f"custom::{source}::{attribute}"
+
+    def test_custom_values_are_strings_on_records(self, corpus):
+        truth = corpus.ground_truth
+        seen = 0
+        for record in corpus.records():
+            for attribute, value in record.attributes.items():
+                mediated = truth.mediated_attribute(
+                    record.source_id, attribute
+                )
+                if mediated and mediated.startswith("custom::"):
+                    assert value
+                    seen += 1
+        assert seen > 5
+
+    def test_deepens_the_tail(self):
+        world = generate_world(
+            WorldConfig(
+                categories=("camera",), entities_per_category=30, seed=3
+            )
+        )
+        plain = generate_dataset(
+            world, CorpusConfig(n_sources=10, seed=5)
+        )
+        custom = generate_dataset(
+            world,
+            CorpusConfig(n_sources=10, max_custom_attributes=5, seed=5),
+        )
+        assert (
+            attribute_tail_statistics(custom).n_attribute_names
+            > attribute_tail_statistics(plain).n_attribute_names
+        )
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(max_custom_attributes=-1)

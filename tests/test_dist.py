@@ -1,0 +1,234 @@
+"""Tests for the MapReduce engine, partitioners, and cost model."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.dist import (
+    ClusterCostModel,
+    MapReduceJob,
+    MatchTask,
+    block_split_partition,
+    hash_partitioner,
+    naive_partition,
+    pair_range_partition,
+    partition_blocks,
+    run_distributed_linkage,
+    task_pairs,
+)
+from repro.linkage import Block, BlockCollection, ThresholdClassifier
+from repro.linkage.blocking import first_token_key
+from repro.linkage import StandardBlocker, default_product_comparator
+from repro.synth import (
+    CorpusConfig,
+    WorldConfig,
+    generate_dataset,
+    generate_world,
+)
+
+
+class TestMapReduce:
+    def test_word_count(self):
+        job = MapReduceJob(
+            map_function=lambda line: [(w, 1) for w in line.split()],
+            reduce_function=lambda key, values: [(key, sum(values))],
+            n_reducers=3,
+        )
+        result = job.run(["a b a", "b c"])
+        counts = dict(result.outputs)
+        assert counts == {"a": 2, "b": 2, "c": 1}
+
+    def test_deterministic_output_order(self):
+        job = MapReduceJob(
+            map_function=lambda x: [(x % 5, x)],
+            reduce_function=lambda key, values: [(key, sorted(values))],
+            n_reducers=2,
+        )
+        first = job.run(list(range(20))).outputs
+        second = job.run(list(range(20))).outputs
+        assert first == second
+
+    def test_metrics_cover_all_values(self):
+        job = MapReduceJob(
+            map_function=lambda x: [(x % 3, x)],
+            reduce_function=lambda key, values: [],
+            n_reducers=2,
+        )
+        result = job.run(list(range(30)))
+        assert result.n_map_outputs == 30
+        assert sum(m.n_values for m in result.reducer_metrics) == 30
+
+    def test_custom_cost_function(self):
+        job = MapReduceJob(
+            map_function=lambda x: [("k", x)],
+            reduce_function=lambda key, values: [],
+            n_reducers=1,
+            cost_function=lambda key, values: 100.0,
+        )
+        result = job.run([1, 2, 3])
+        assert result.total_cost == 100.0
+
+    def test_skew_metric(self):
+        job = MapReduceJob(
+            map_function=lambda x: [(x, x)],
+            reduce_function=lambda key, values: [],
+            n_reducers=2,
+            partitioner=lambda key, n: 0,  # everything on reducer 0
+        )
+        result = job.run(list(range(10)))
+        assert result.skew == pytest.approx(2.0)
+
+    def test_bad_partitioner_caught(self):
+        job = MapReduceJob(
+            map_function=lambda x: [(x, x)],
+            reduce_function=lambda key, values: [],
+            n_reducers=2,
+            partitioner=lambda key, n: 7,
+        )
+        with pytest.raises(ConfigurationError):
+            job.run([1])
+
+    def test_hash_partitioner_stable(self):
+        assert hash_partitioner("abc", 16) == hash_partitioner("abc", 16)
+        assert 0 <= hash_partitioner("anything", 7) < 7
+
+
+def skewed_blocks():
+    """One huge block plus many small ones — the Zipf pattern."""
+    blocks = [Block("big", tuple(f"r{i}" for i in range(40)))]
+    for j in range(12):
+        blocks.append(
+            Block(f"small{j}", (f"s{j}a", f"s{j}b", f"s{j}c"))
+        )
+    return BlockCollection(blocks)
+
+
+class TestMatchTask:
+    def test_within_comparisons(self):
+        task = MatchTask("k", ("a", "b", "c"))
+        assert task.n_comparisons == 3
+        assert set(task_pairs(task)) == {
+            ("a", "b"), ("a", "c"), ("b", "c"),
+        }
+
+    def test_cross_comparisons(self):
+        task = MatchTask("k", ("a", "b"), ("x",))
+        assert task.n_comparisons == 2
+        assert set(task_pairs(task)) == {("a", "x"), ("b", "x")}
+
+
+class TestPartitioners:
+    def all_pairs(self, partition):
+        pairs = set()
+        for tasks in partition:
+            for task in tasks:
+                for a, b in task_pairs(task):
+                    pairs.add(frozenset((a, b)))
+        return pairs
+
+    def comparisons(self, partition):
+        return [
+            sum(t.n_comparisons for t in tasks) for tasks in partition
+        ]
+
+    @pytest.mark.parametrize(
+        "strategy", ["naive", "blocksplit", "pairrange"]
+    )
+    def test_every_strategy_covers_all_pairs(self, strategy):
+        blocks = skewed_blocks()
+        partition = partition_blocks(blocks, strategy, 8)
+        assert self.all_pairs(partition) == blocks.candidate_pairs()
+
+    @pytest.mark.parametrize(
+        "strategy", ["naive", "blocksplit", "pairrange"]
+    )
+    def test_comparison_totals_match(self, strategy):
+        blocks = skewed_blocks()
+        partition = partition_blocks(blocks, strategy, 8)
+        assert sum(self.comparisons(partition)) == blocks.n_comparisons
+
+    def test_naive_skews_under_zipf(self):
+        blocks = skewed_blocks()
+        naive = self.comparisons(naive_partition(blocks, 8))
+        assert max(naive) >= 780  # the big block lands whole somewhere
+
+    def test_blocksplit_balances(self):
+        blocks = skewed_blocks()
+        loads = self.comparisons(block_split_partition(blocks, 8))
+        assert max(loads) < 2 * (sum(loads) / len(loads))
+
+    def test_pairrange_near_perfect_balance(self):
+        blocks = skewed_blocks()
+        loads = self.comparisons(pair_range_partition(blocks, 8))
+        assert max(loads) - min(loads) <= max(1, sum(loads) // 50)
+
+    def test_single_reducer_identity(self):
+        blocks = skewed_blocks()
+        for strategy in ("naive", "blocksplit", "pairrange"):
+            partition = partition_blocks(blocks, strategy, 1)
+            assert len(partition) == 1
+            assert sum(self.comparisons(partition)) == blocks.n_comparisons
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            partition_blocks(skewed_blocks(), "zap", 4)
+
+
+class TestCostModel:
+    def test_makespan_is_max(self):
+        model = ClusterCostModel(comparison_cost=1.0, task_overhead=0.0, startup=0.0)
+        partition = [
+            [MatchTask("a", ("x", "y", "z"))],  # 3 comparisons
+            [MatchTask("b", ("p", "q"))],       # 1 comparison
+        ]
+        cost = model.evaluate(partition)
+        assert cost.makespan == 3.0
+        assert cost.per_reducer_comparisons == (3, 1)
+
+    def test_speedup_vs_serial(self):
+        model = ClusterCostModel(comparison_cost=1.0, task_overhead=0.0, startup=0.0)
+        partition = [
+            [MatchTask("a", ("x", "y", "z"))],
+            [MatchTask("b", ("p", "q", "r"))],
+        ]
+        cost = model.evaluate(partition)
+        assert cost.speedup == pytest.approx(2.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            ClusterCostModel(comparison_cost=0.0)
+
+
+class TestDistributedLinkage:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        world = generate_world(
+            WorldConfig(categories=("camera",), entities_per_category=40, seed=3)
+        )
+        dataset = generate_dataset(world, CorpusConfig(n_sources=8, seed=5))
+        records = list(dataset.records())
+        blocks = StandardBlocker(first_token_key("name")).block(records)
+        return records, blocks
+
+    def test_strategies_agree_on_matches(self, setup):
+        records, blocks = setup
+        results = {}
+        for strategy in ("naive", "blocksplit", "pairrange"):
+            run = run_distributed_linkage(
+                records,
+                blocks,
+                default_product_comparator(),
+                ThresholdClassifier(0.72),
+                strategy,
+                n_reducers=4,
+            )
+            results[strategy] = run.match_pairs
+        assert results["naive"] == results["blocksplit"] == results["pairrange"]
+
+    def test_balanced_strategies_scale_better(self, setup):
+        records, blocks = setup
+        def makespan(strategy, r):
+            return run_distributed_linkage(
+                records, blocks, default_product_comparator(),
+                ThresholdClassifier(0.72), strategy, r,
+            ).cost.makespan
+        assert makespan("blocksplit", 16) < makespan("naive", 16)

@@ -1,0 +1,266 @@
+"""Tests for all fusion algorithms and copy detection."""
+
+import pytest
+
+from repro.core import ConfigurationError, EmptyInputError
+from repro.fusion import (
+    AccuCopy,
+    AccuVote,
+    Claim,
+    ClaimSet,
+    CopyDetector,
+    OnlineFusion,
+    TruthFinder,
+    VotingFuser,
+)
+from repro.quality import copy_detection_quality, fusion_accuracy
+from repro.synth import ClaimWorldConfig, generate_claims
+
+
+def claim_set(rows):
+    return ClaimSet(Claim(s, i, v) for s, i, v in rows)
+
+
+@pytest.fixture(scope="module")
+def copier_world():
+    return generate_claims(
+        ClaimWorldConfig(
+            n_items=250,
+            n_independent=8,
+            n_copiers=8,
+            accuracy_range=(0.45, 0.75),
+            copy_rate=0.9,
+            n_false_values=3,
+            parent_pool=2,
+            parent_accuracy=0.35,
+            seed=21,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_world():
+    return generate_claims(
+        ClaimWorldConfig(
+            n_items=250,
+            n_independent=10,
+            accuracy_range=(0.55, 0.95),
+            n_false_values=5,
+            seed=22,
+        )
+    )
+
+
+class TestVoting:
+    def test_majority_wins(self):
+        claims = claim_set(
+            [("s1", "i", "x"), ("s2", "i", "x"), ("s3", "i", "y")]
+        )
+        result = VotingFuser().fuse(claims)
+        assert result.chosen["i"] == "x"
+        assert result.confidence["i"] == pytest.approx(2 / 3)
+
+    def test_deterministic_tie_break(self):
+        claims = claim_set([("s1", "i", "x"), ("s2", "i", "y")])
+        assert VotingFuser().fuse(claims).chosen["i"] == "x"
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyInputError):
+            VotingFuser().fuse(ClaimSet())
+
+
+class TestTruthFinder:
+    def test_beats_voting_with_skewed_accuracy(self, clean_world):
+        vote = fusion_accuracy(
+            VotingFuser().fuse(clean_world.claims), clean_world.truth
+        )
+        tf = fusion_accuracy(
+            TruthFinder().fuse(clean_world.claims), clean_world.truth
+        )
+        assert tf >= vote - 0.02
+
+    def test_trust_ordering_tracks_planted_accuracy(self, clean_world):
+        result = TruthFinder().fuse(clean_world.claims)
+        sources = sorted(
+            clean_world.accuracies,
+            key=lambda s: clean_world.accuracies[s],
+        )
+        worst, best = sources[0], sources[-1]
+        assert result.source_accuracy[best] > result.source_accuracy[worst]
+
+    def test_converges(self, clean_world):
+        result = TruthFinder(max_iterations=50).fuse(clean_world.claims)
+        assert result.iterations < 50
+
+    def test_implication_requires_similarity(self):
+        with pytest.raises(ConfigurationError):
+            TruthFinder(implication_weight=0.5)
+
+    def test_implication_boosts_similar_values(self):
+        from repro.text import levenshtein_similarity
+
+        claims = claim_set(
+            [
+                ("s1", "i", "12.5 cm"),
+                ("s2", "i", "12.5cm"),
+                ("s3", "i", "99"),
+                ("s4", "i", "99"),
+            ]
+        )
+        plain = TruthFinder().fuse(claims)
+        with_implication = TruthFinder(
+            implication_weight=0.8, similarity=levenshtein_similarity
+        ).fuse(claims)
+        # The two near-identical readings support each other.
+        assert (
+            with_implication.confidence.get("i", 0.0) > 0.0
+        )
+        assert with_implication.chosen["i"] in {"12.5 cm", "12.5cm", "99"}
+
+
+class TestAccuVote:
+    def test_recovers_planted_accuracies(self, clean_world):
+        result = AccuVote(n_false_values=5).fuse(clean_world.claims)
+        errors = [
+            abs(result.source_accuracy[s] - clean_world.accuracies[s])
+            for s in clean_world.accuracies
+        ]
+        assert sum(errors) / len(errors) < 0.1
+
+    def test_known_accuracies_skip_iteration(self, clean_world):
+        result = AccuVote(
+            n_false_values=5, known_accuracies=clean_world.accuracies
+        ).fuse(clean_world.claims)
+        assert result.iterations == 1
+        assert fusion_accuracy(result, clean_world.truth) > 0.85
+
+    def test_beats_voting(self, clean_world):
+        vote = fusion_accuracy(
+            VotingFuser().fuse(clean_world.claims), clean_world.truth
+        )
+        accu = fusion_accuracy(
+            AccuVote(n_false_values=5).fuse(clean_world.claims),
+            clean_world.truth,
+        )
+        assert accu >= vote
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            AccuVote(n_false_values=0)
+        with pytest.raises(ConfigurationError):
+            AccuVote(initial_accuracy=1.0)
+
+
+class TestCopyDetection:
+    def test_detects_planted_copiers(self, copier_world):
+        accuracies = dict(copier_world.accuracies)
+        detector = CopyDetector(n_false_values=3)
+        detected = detector.detect(
+            copier_world.claims, copier_world.truth, accuracies
+        )
+        quality = copy_detection_quality(
+            detected, copier_world.copier_of, include_siblings=True
+        )
+        assert quality.recall > 0.8
+
+    def test_independent_pairs_mostly_clear(self, clean_world):
+        detector = CopyDetector(n_false_values=5)
+        detected = detector.detect(
+            clean_world.claims, clean_world.truth, clean_world.accuracies
+        )
+        flagged = [p for p, prob in detected.items() if prob >= 0.5]
+        n_pairs = len(clean_world.claims.sources())
+        n_pairs = n_pairs * (n_pairs - 1) // 2
+        assert len(flagged) / n_pairs < 0.2
+
+    def test_min_overlap_guard(self):
+        detector = CopyDetector(min_overlap=5)
+        claims = claim_set([("s1", "i", "x"), ("s2", "i", "x")])
+        assert (
+            detector.pair_probability(
+                claims, "s1", "s2", {"i": "x"}, {"s1": 0.8, "s2": 0.8}
+            )
+            == 0.0
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            CopyDetector(copy_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            CopyDetector(prior=1.0)
+
+
+class TestAccuCopy:
+    def test_immune_to_copier_cabal(self, copier_world):
+        vote = fusion_accuracy(
+            VotingFuser().fuse(copier_world.claims), copier_world.truth
+        )
+        accuvote = fusion_accuracy(
+            AccuVote(n_false_values=3).fuse(copier_world.claims),
+            copier_world.truth,
+        )
+        accucopy = fusion_accuracy(
+            AccuCopy(n_false_values=3).fuse(copier_world.claims),
+            copier_world.truth,
+        )
+        assert accucopy > vote
+        assert accucopy > accuvote
+        assert accucopy > 0.8
+
+    def test_copy_probabilities_reported(self, copier_world):
+        result = AccuCopy(n_false_values=3).fuse(copier_world.claims)
+        assert result.copy_probability
+        quality = copy_detection_quality(
+            result.copy_probability,
+            copier_world.copier_of,
+            include_siblings=True,
+        )
+        assert quality.recall > 0.7
+
+    def test_no_copiers_matches_accuvote(self, clean_world):
+        accuvote = AccuVote(n_false_values=5).fuse(clean_world.claims)
+        accucopy = AccuCopy(n_false_values=5).fuse(clean_world.claims)
+        agreement = sum(
+            1
+            for item in clean_world.claims.items()
+            if accuvote.chosen[item] == accucopy.chosen[item]
+        ) / len(clean_world.claims.items())
+        assert agreement > 0.95
+
+
+class TestOnlineFusion:
+    def test_matches_batch_answers(self, clean_world):
+        online = OnlineFusion(clean_world.accuracies, n_false_values=5)
+        result, trace = online.run(clean_world.claims)
+        batch = AccuVote(
+            n_false_values=5, known_accuracies=clean_world.accuracies
+        ).fuse(clean_world.claims)
+        agreement = sum(
+            1
+            for item in clean_world.claims.items()
+            if result.chosen[item] == batch.chosen[item]
+        ) / len(clean_world.claims.items())
+        assert agreement > 0.97
+
+    def test_termination_monotone(self, clean_world):
+        online = OnlineFusion(clean_world.accuracies, n_false_values=5)
+        __, trace = online.run(clean_world.claims)
+        assert list(trace.terminated) == sorted(trace.terminated)
+        assert trace.terminated[-1] > 0.9
+
+    def test_probe_order_by_accuracy(self, clean_world):
+        online = OnlineFusion(clean_world.accuracies)
+        order = online.probe_order(clean_world.claims)
+        accuracies = [clean_world.accuracies[s] for s in order]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_early_expected_correctness_rises(self, clean_world):
+        online = OnlineFusion(clean_world.accuracies, n_false_values=5)
+        __, trace = online.run(clean_world.claims)
+        assert trace.expected_correctness[-1] >= trace.expected_correctness[0]
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            OnlineFusion({})
+        with pytest.raises(ConfigurationError):
+            OnlineFusion({"s": 0.9}, stop_posterior=0.3)

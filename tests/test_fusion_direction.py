@@ -1,0 +1,74 @@
+"""Tests for copy-detection direction inference."""
+
+import pytest
+
+from repro.fusion import CopyDetector, VotingFuser
+from repro.synth import ClaimWorldConfig, generate_claims
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return generate_claims(
+        ClaimWorldConfig(
+            n_items=300,
+            n_independent=6,
+            n_copiers=4,
+            accuracy_range=(0.55, 0.8),
+            copy_rate=0.9,
+            n_false_values=6,
+            seed=43,
+        )
+    )
+
+
+class TestDirection:
+    def test_range(self, planted):
+        detector = CopyDetector(n_false_values=6)
+        truths = VotingFuser().fuse(planted.claims).chosen
+        accuracies = {s: 0.7 for s in planted.claims.sources()}
+        for copier, parent in planted.copier_of.items():
+            value = detector.direction(
+                planted.claims, copier, parent, truths, accuracies
+            )
+            assert -1.0 <= value <= 1.0
+
+    def test_antisymmetric(self, planted):
+        detector = CopyDetector(n_false_values=6)
+        truths = VotingFuser().fuse(planted.claims).chosen
+        accuracies = {s: 0.7 for s in planted.claims.sources()}
+        copier, parent = next(iter(planted.copier_of.items()))
+        forward = detector.direction(
+            planted.claims, copier, parent, truths, accuracies
+        )
+        backward = detector.direction(
+            planted.claims, parent, copier, truths, accuracies
+        )
+        assert forward == pytest.approx(-backward)
+
+    def test_insufficient_overlap_neutral(self):
+        from repro.fusion import Claim, ClaimSet
+
+        claims = ClaimSet([Claim("a", "i", "x"), Claim("b", "i", "x")])
+        detector = CopyDetector(min_overlap=5)
+        assert detector.direction(
+            claims, "a", "b", {"i": "x"}, {"a": 0.8, "b": 0.8}
+        ) == 0.0
+
+    def test_accuracy_asymmetry_orients_edges(self, planted):
+        """With the pair's accuracies known, the fitted direction should
+        more often point from the copier to the parent than the
+        reverse (direction is weak evidence, not a guarantee)."""
+        detector = CopyDetector(n_false_values=6)
+        truths = dict(planted.truth)  # oracle truths isolate direction
+        correct = 0
+        for copier, parent in planted.copier_of.items():
+            value = detector.direction(
+                planted.claims,
+                copier,
+                parent,
+                truths,
+                planted.accuracies,
+            )
+            if value > 0:
+                correct += 1
+        assert correct >= len(planted.copier_of) / 2

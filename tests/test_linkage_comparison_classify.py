@@ -1,0 +1,239 @@
+"""Tests for comparators and the three classifier families."""
+
+import pytest
+
+from repro.core import ConfigurationError, EmptyInputError, Record
+from repro.linkage import (
+    ComparisonVector,
+    FieldComparator,
+    MatchDecision,
+    MatchRule,
+    RecordComparator,
+    RuleBasedClassifier,
+    ThresholdClassifier,
+    default_product_comparator,
+    fit_fellegi_sunter,
+    rule_for,
+)
+from repro.text import exact_similarity, jaro_winkler_similarity
+
+
+def record(rid, **attrs):
+    return Record(rid, "s", {k: str(v) for k, v in attrs.items()})
+
+
+@pytest.fixture
+def comparator():
+    return RecordComparator(
+        [
+            FieldComparator("name", jaro_winkler_similarity, weight=2.0),
+            FieldComparator("color", exact_similarity, weight=1.0),
+        ]
+    )
+
+
+class TestFieldComparator:
+    def test_missing_returns_none(self, comparator):
+        vector = comparator.compare(
+            record("a", name="canon"), record("b", name="canon", color="red")
+        )
+        assert vector.similarities[1] is None
+
+    def test_normalization_applied(self):
+        field = FieldComparator("color", exact_similarity)
+        assert field.compare({"color": " RED "}, {"color": "red"}) == 1.0
+
+    def test_normalization_disabled(self):
+        field = FieldComparator("color", exact_similarity, normalize=False)
+        assert field.compare({"color": " RED "}, {"color": "red"}) == 0.0
+
+    def test_aliases(self):
+        field = FieldComparator(
+            "color", exact_similarity, aliases=("colour",)
+        )
+        assert field.compare({"colour": "red"}, {"color": "red"}) == 1.0
+
+    def test_invalid_weight(self):
+        with pytest.raises(ConfigurationError):
+            FieldComparator("x", exact_similarity, weight=0.0)
+
+
+class TestRecordComparator:
+    def test_weighted_score(self, comparator):
+        vector = comparator.compare(
+            record("a", name="canon", color="red"),
+            record("b", name="canon", color="blue"),
+        )
+        assert vector.score == pytest.approx((2.0 * 1.0 + 1.0 * 0.0) / 3.0)
+
+    def test_missing_fields_excluded_from_average(self, comparator):
+        vector = comparator.compare(
+            record("a", name="canon"), record("b", name="canon")
+        )
+        assert vector.score == pytest.approx(1.0)
+
+    def test_missing_penalty(self):
+        comparator = RecordComparator(
+            [
+                FieldComparator("name", exact_similarity, weight=1.0),
+                FieldComparator("color", exact_similarity, weight=1.0),
+            ],
+            missing_penalty=0.0,
+        )
+        vector = comparator.compare(
+            record("a", name="x"), record("b", name="x")
+        )
+        assert vector.score == pytest.approx(0.5)
+
+    def test_all_fields_missing_scores_zero(self, comparator):
+        vector = comparator.compare(record("a", other="1"), record("b"))
+        assert vector.score == 0.0
+
+    def test_needs_fields(self):
+        with pytest.raises(ConfigurationError):
+            RecordComparator([])
+
+    def test_agreement_pattern(self, comparator):
+        vector = comparator.compare(
+            record("a", name="canon", color="red"),
+            record("b", name="canon", color="blue"),
+        )
+        assert vector.agreement_pattern() == (True, False)
+
+    def test_default_comparator_separates_products(self):
+        comparator = default_product_comparator()
+        same = comparator.score(
+            record("a", name="canon pro 512", brand="canon"),
+            record("b", title="canon pro 512", manufacturer="canon"),
+        )
+        different = comparator.score(
+            record("a", name="canon pro 512", brand="canon"),
+            record("c", title="canon pro 3", manufacturer="canon"),
+        )
+        assert same > 0.9
+        assert different < 0.7
+
+
+class TestThresholdClassifier:
+    def test_decisions(self, comparator):
+        classifier = ThresholdClassifier(0.9, review_threshold=0.5)
+        high = comparator.compare(
+            record("a", name="canon", color="red"),
+            record("b", name="canon", color="red"),
+        )
+        mid = comparator.compare(
+            record("a", name="canon", color="red"),
+            record("b", name="canon", color="blue"),
+        )
+        low = comparator.compare(
+            record("a", name="zzz", color="red"),
+            record("b", name="qqq", color="blue"),
+        )
+        assert classifier.classify(high) == MatchDecision.MATCH
+        assert classifier.classify(mid) == MatchDecision.POSSIBLE
+        assert classifier.classify(low) == MatchDecision.NON_MATCH
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdClassifier(1.5)
+        with pytest.raises(ConfigurationError):
+            ThresholdClassifier(0.5, review_threshold=0.9)
+
+
+class TestRuleClassifier:
+    def test_rule_fires_conjunctively(self, comparator):
+        rule = MatchRule({0: 0.95, 1: 0.95})
+        classifier = RuleBasedClassifier([rule])
+        both = comparator.compare(
+            record("a", name="canon", color="red"),
+            record("b", name="canon", color="red"),
+        )
+        one = comparator.compare(
+            record("a", name="canon", color="red"),
+            record("b", name="canon", color="blue"),
+        )
+        assert classifier.is_match(both)
+        assert not classifier.is_match(one)
+
+    def test_missing_field_fails_rule(self, comparator):
+        rule = MatchRule({1: 0.9})
+        classifier = RuleBasedClassifier([rule])
+        vector = comparator.compare(
+            record("a", name="canon"), record("b", name="canon")
+        )
+        assert not classifier.is_match(vector)
+
+    def test_rule_for_names(self, comparator):
+        rule = rule_for(comparator, name=0.9, color=0.9)
+        assert rule.requirements == {0: 0.9, 1: 0.9}
+
+    def test_rule_for_unknown_attribute(self, comparator):
+        with pytest.raises(ConfigurationError):
+            rule_for(comparator, nonexistent=0.5)
+
+    def test_firing_rule_identified(self, comparator):
+        strict = MatchRule({0: 0.99, 1: 0.99}, label="strict")
+        loose = MatchRule({0: 0.8}, label="loose")
+        classifier = RuleBasedClassifier([strict, loose])
+        vector = comparator.compare(
+            record("a", name="canon", color="red"),
+            record("b", name="canon", color="blue"),
+        )
+        assert classifier.firing_rule(vector).label == "loose"
+
+
+class TestFellegiSunter:
+    def _vectors(self):
+        # 30 matching-looking pairs (agree on both fields), 170 random.
+        vectors = []
+        for i in range(30):
+            vectors.append(
+                ComparisonVector(f"m{i}", f"m{i}'", (0.99, 0.95), 0.97)
+            )
+        for i in range(170):
+            sims = (0.2, 0.9) if i % 4 == 0 else (0.1, 0.05)
+            vectors.append(
+                ComparisonVector(f"u{i}", f"u{i}'", sims, sum(sims) / 2)
+            )
+        return vectors
+
+    def test_em_finds_separating_parameters(self):
+        model = fit_fellegi_sunter(self._vectors())
+        assert all(m > u for m, u in zip(model.m, model.u))
+
+    def test_match_pattern_scores_above_nonmatch(self):
+        model = fit_fellegi_sunter(self._vectors())
+        assert model.pattern_weight((True, True)) > model.pattern_weight(
+            (False, False)
+        )
+
+    def test_classifies_clear_match(self):
+        model = fit_fellegi_sunter(self._vectors())
+        match_vector = ComparisonVector("a", "b", (0.99, 0.99), 0.99)
+        nonmatch_vector = ComparisonVector("a", "c", (0.1, 0.1), 0.1)
+        assert model.is_match(match_vector)
+        assert not model.is_match(nonmatch_vector)
+
+    def test_match_probability_monotone(self):
+        model = fit_fellegi_sunter(self._vectors())
+        p_match = model.match_probability(
+            ComparisonVector("a", "b", (0.99, 0.99), 0.99)
+        )
+        p_non = model.match_probability(
+            ComparisonVector("a", "c", (0.1, 0.1), 0.1)
+        )
+        assert p_match > p_non
+        assert 0.0 <= p_non <= p_match <= 1.0
+
+    def test_prevalence_estimated(self):
+        model = fit_fellegi_sunter(self._vectors())
+        assert 0.05 < model.prevalence < 0.4
+
+    def test_empty_input(self):
+        with pytest.raises(EmptyInputError):
+            fit_fellegi_sunter([])
+
+    def test_inconsistent_lengths_rejected(self):
+        model = fit_fellegi_sunter(self._vectors())
+        with pytest.raises(ConfigurationError):
+            model.pattern_weight((True,))

@@ -1,0 +1,150 @@
+"""Tests for identifier-based and incremental linkage."""
+
+import pytest
+
+from repro.core import ConfigurationError, Record
+from repro.linkage import (
+    IncrementalLinker,
+    ThresholdClassifier,
+    TokenBlocker,
+    default_product_comparator,
+    detect_identifier_attributes,
+    link_by_identifier,
+    normalize_identifier,
+)
+from repro.linkage.blocking import first_token_key, token_set_key
+from repro.quality import pairwise_cluster_quality
+from repro.schema import profile_attributes
+from repro.synth import (
+    CorpusConfig,
+    WorldConfig,
+    generate_dataset,
+    generate_world,
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    world = generate_world(
+        WorldConfig(categories=("camera",), entities_per_category=50, seed=1)
+    )
+    return generate_dataset(
+        world,
+        CorpusConfig(n_sources=10, identifier_probability=1.0, seed=2),
+    )
+
+
+class TestNormalizeIdentifier:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("AB-1234", "ab1234"),
+            ("ab 1234", "ab1234"),
+            ("AB.12/34", "ab1234"),
+        ],
+    )
+    def test_examples(self, raw, expected):
+        assert normalize_identifier(raw) == expected
+
+
+class TestDetection:
+    def test_detects_identifier_attribute_per_source(self, corpus):
+        profiles = profile_attributes(corpus)
+        detections = detect_identifier_attributes(profiles)
+        truth = corpus.ground_truth
+        assert detections
+        for detection in detections:
+            mediated = truth.mediated_attribute(
+                detection.source_id, detection.attribute
+            )
+            assert mediated == "product id"
+
+    def test_min_score_excludes_low(self, corpus):
+        profiles = profile_attributes(corpus)
+        nothing = detect_identifier_attributes(profiles, min_score=1.01)
+        assert nothing == []
+
+
+class TestIdentifierLinkage:
+    def test_links_by_shared_identifier(self, corpus):
+        profiles = profile_attributes(corpus)
+        detections = detect_identifier_attributes(profiles)
+        clusters = link_by_identifier(
+            list(corpus.records()), detections
+        )
+        quality = pairwise_cluster_quality(clusters, corpus.ground_truth)
+        assert quality.precision > 0.99
+        assert quality.recall > 0.5  # missing-rate holes cost some recall
+
+    def test_short_identifiers_ignored(self):
+        records = [
+            Record("a", "s1", {"id": "12"}),
+            Record("b", "s2", {"id": "12"}),
+        ]
+        detections = []
+        clusters = link_by_identifier(records, detections)
+        assert clusters == [["a"], ["b"]]
+
+
+def all_value_tokens(record):
+    """Every ≥2-char token of any value — mirrors TokenBlocker's keys."""
+    from repro.text import normalize_value, word_tokens
+
+    tokens = set()
+    for value in record.attributes.values():
+        tokens.update(
+            t for t in word_tokens(normalize_value(value)) if len(t) >= 2
+        )
+    return tokens
+
+
+class TestIncrementalLinker:
+    def _make(self):
+        return IncrementalLinker(
+            [all_value_tokens],
+            default_product_comparator(),
+            ThresholdClassifier(0.72),
+            max_candidates_per_record=10_000,
+        )
+
+    def test_requires_keys(self):
+        with pytest.raises(ConfigurationError):
+            IncrementalLinker(
+                [], default_product_comparator(), ThresholdClassifier()
+            )
+
+    def test_duplicate_record_rejected(self):
+        linker = self._make()
+        record = Record("a", "s", {"name": "canon x 1"})
+        linker.add_batch([record])
+        with pytest.raises(ConfigurationError):
+            linker.add_batch([record])
+
+    def test_incremental_equals_batch_exactly(self, corpus):
+        # With identical candidate generation (all-value-token keys vs
+        # TokenBlocker) and a deterministic classifier, incremental
+        # union-find must reproduce batch connected components exactly.
+        records = list(corpus.records())
+        linker = self._make()
+        for start in range(0, len(records), 60):
+            linker.add_batch(records[start : start + 60])
+        batch = linker.batch_equivalent(TokenBlocker())
+        assert sorted(map(sorted, linker.clusters())) == sorted(
+            map(sorted, batch)
+        )
+
+    def test_batch_cost_scales_with_batch_not_corpus(self, corpus):
+        records = list(corpus.records())
+        linker = self._make()
+        first = linker.add_batch(records[:200])
+        second = linker.add_batch(records[200:220])
+        # 20 new records against an index of 200 should cost far less
+        # than re-running the first 200.
+        assert second.comparisons < first.comparisons
+
+    def test_clusters_cover_all_added(self, corpus):
+        records = list(corpus.records())[:50]
+        linker = self._make()
+        linker.add_batch(records)
+        flattened = [m for c in linker.clusters() for m in c]
+        assert sorted(flattened) == sorted(r.record_id for r in records)

@@ -1,0 +1,90 @@
+"""Tests for the blocking graph and meta-blocking pruning schemes."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.linkage import Block, BlockCollection, build_blocking_graph, meta_block
+
+
+@pytest.fixture
+def blocks():
+    # r1/r2 co-occur in three blocks (strong); r3 brushes past r1 once.
+    return BlockCollection(
+        [
+            Block("k1", ("r1", "r2")),
+            Block("k2", ("r1", "r2")),
+            Block("k3", ("r1", "r2", "r3")),
+            Block("k4", ("r3", "r4")),
+        ]
+    )
+
+
+class TestBlockingGraph:
+    def test_cbs_weights(self, blocks):
+        graph = build_blocking_graph(blocks, weight="cbs")
+        weights = graph.weights
+        assert weights[frozenset(("r1", "r2"))] == 3.0
+        assert weights[frozenset(("r1", "r3"))] == 1.0
+
+    def test_js_weights(self, blocks):
+        graph = build_blocking_graph(blocks, weight="js")
+        weights = graph.weights
+        # r1 in 3 blocks, r2 in 3 blocks, shared 3 → 3/(3+3-3) = 1.
+        assert weights[frozenset(("r1", "r2"))] == pytest.approx(1.0)
+        # r1 (3 blocks) vs r3 (2 blocks), shared 1 → 1/4.
+        assert weights[frozenset(("r1", "r3"))] == pytest.approx(0.25)
+
+    def test_arcs_weights_discount_big_blocks(self, blocks):
+        graph = build_blocking_graph(blocks, weight="arcs")
+        weights = graph.weights
+        assert weights[frozenset(("r1", "r2"))] > weights[
+            frozenset(("r1", "r3"))
+        ]
+
+    def test_unknown_scheme(self, blocks):
+        with pytest.raises(ConfigurationError):
+            build_blocking_graph(blocks, weight="nope")
+
+    def test_neighbors(self, blocks):
+        graph = build_blocking_graph(blocks)
+        assert set(graph.neighbors("r1")) == {"r2", "r3"}
+
+
+class TestPruning:
+    def test_wep_keeps_strong_edges(self, blocks):
+        kept = meta_block(blocks, pruning="wep")
+        assert frozenset(("r1", "r2")) in kept
+        assert frozenset(("r1", "r3")) not in kept
+
+    def test_cep_budget(self, blocks):
+        kept = meta_block(blocks, pruning="cep", cardinality_ratio=0.25)
+        assert kept == {frozenset(("r1", "r2"))}
+
+    def test_cep_invalid_ratio(self, blocks):
+        with pytest.raises(ConfigurationError):
+            meta_block(blocks, pruning="cep", cardinality_ratio=0.0)
+
+    def test_wnp_local_threshold(self, blocks):
+        kept = meta_block(blocks, pruning="wnp")
+        assert frozenset(("r1", "r2")) in kept
+        # r3's local mean keeps its best edge(s) alive.
+        assert any("r3" in edge for edge in kept)
+
+    def test_cnp_degree_one(self, blocks):
+        kept = meta_block(blocks, pruning="cnp", node_degree=1)
+        assert frozenset(("r1", "r2")) in kept
+        for node in ("r1", "r2", "r3", "r4"):
+            degree = sum(1 for edge in kept if node in edge)
+            # CNP keeps each node's top-k but an edge survives if either
+            # endpoint retains it, so degree can exceed k slightly.
+            assert degree <= 2
+
+    def test_unknown_pruning(self, blocks):
+        with pytest.raises(ConfigurationError):
+            meta_block(blocks, pruning="zap")
+
+    def test_pruning_reduces_candidates(self, blocks):
+        full = blocks.candidate_pairs()
+        for scheme in ("wep", "cep", "wnp", "cnp"):
+            kept = meta_block(blocks, pruning=scheme)
+            assert kept <= full

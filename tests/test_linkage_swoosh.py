@@ -1,0 +1,120 @@
+"""Tests for merge-based (R-Swoosh) entity resolution."""
+
+import pytest
+
+from repro.core import ConfigurationError, Record
+from repro.linkage.swoosh import r_swoosh, union_merge
+from repro.text import product_name_similarity
+
+
+def record(rid, **attrs):
+    return Record(rid, "s", {k: str(v) for k, v in attrs.items()})
+
+
+def simple_match(a: Record, b: Record) -> bool:
+    """Match on identical identifier OR very similar name."""
+    id_a, id_b = a.get("id"), b.get("id")
+    if id_a is not None and id_b is not None and id_a == id_b:
+        return True
+    name_a, name_b = a.get("name"), b.get("name")
+    if name_a is not None and name_b is not None:
+        return product_name_similarity(name_a, name_b) > 0.9
+    return False
+
+
+class TestUnionMerge:
+    def test_attribute_union(self):
+        merged = union_merge(
+            record("a", name="canon x"), record("b", id="123")
+        )
+        assert merged["name"] == "canon x"
+        assert merged["id"] == "123"
+
+    def test_left_wins_conflicts(self):
+        merged = union_merge(
+            record("a", color="red"), record("b", color="blue")
+        )
+        assert merged["color"] == "red"
+
+    def test_provenance_in_id(self):
+        merged = union_merge(record("b"), record("a"))
+        assert merged.record_id == "a+b"
+
+    def test_nested_merge_provenance(self):
+        ab = union_merge(record("a"), record("b"))
+        abc = union_merge(ab, record("c"))
+        assert abc.record_id == "a+b+c"
+
+    def test_timestamp_max(self):
+        a = Record("a", "s", {"x": "1"}, timestamp=1.0)
+        b = Record("b", "s", {"x": "1"}, timestamp=3.0)
+        assert union_merge(a, b).timestamp == 3.0
+
+
+class TestRSwoosh:
+    def test_transitive_merge_through_composite(self):
+        # A~B by name; B~C by id; A~C only via the merged record.
+        a = record("a", name="canon powershot a95")
+        b = record("b", name="canon powershot a95", id="X99")
+        c = record("c", id="X99", color="black")
+        result = r_swoosh([a, c, b], simple_match)
+        assert result.n_entities == 1
+        assert result.clusters == (("a", "b", "c"),)
+        merged = result.merged_records[0]
+        assert merged["color"] == "black"
+        assert "powershot" in merged["name"]
+
+    def test_pairwise_alone_would_miss_the_chain(self):
+        # Direct A~C fails (no shared attribute evidence).
+        a = record("a", name="canon powershot a95")
+        c = record("c", id="X99", color="black")
+        assert not simple_match(a, c)
+
+    def test_distinct_entities_stay_apart(self):
+        records = [
+            record("a", name="canon powershot a95", id="X1"),
+            record("b", name="nikon coolpix 4500", id="X2"),
+            record("c", name="sony alpha 7", id="X3"),
+        ]
+        result = r_swoosh(records, simple_match)
+        assert result.n_entities == 3
+
+    def test_idempotent_on_resolved_output(self):
+        records = [
+            record("a", name="canon powershot a95"),
+            record("b", name="canon powershot a95", id="X99"),
+            record("c", id="X99"),
+        ]
+        first = r_swoosh(records, simple_match)
+        second = r_swoosh(list(first.merged_records), simple_match)
+        assert second.n_entities == first.n_entities
+        assert second.comparisons <= first.comparisons
+
+    def test_order_invariant_entity_count(self):
+        records = [
+            record("a", name="canon powershot a95"),
+            record("b", name="canon powershot a95", id="X99"),
+            record("c", id="X99"),
+            record("d", name="nikon coolpix 4500"),
+        ]
+        import itertools
+
+        counts = {
+            r_swoosh(list(perm), simple_match).n_entities
+            for perm in itertools.permutations(records)
+        }
+        assert counts == {2}
+
+    def test_comparison_guard(self):
+        # A pathological matcher that always matches forces endless
+        # merging of a growing record with itself — the guard trips.
+        records = [record(f"r{i}", name=f"n{i}") for i in range(4)]
+        result = r_swoosh(records, lambda a, b: True)
+        assert result.n_entities == 1
+        with pytest.raises(ConfigurationError):
+            r_swoosh(records, lambda a, b: True, max_comparisons=1)
+
+    def test_empty_input(self):
+        result = r_swoosh([], simple_match)
+        assert result.n_entities == 0
+        assert result.comparisons == 0

@@ -1,0 +1,115 @@
+"""Tests for temporal linkage with decay."""
+
+import pytest
+
+from repro.core import ConfigurationError, Record
+from repro.linkage import TemporalField, TemporalMatcher, link_temporal_stream
+from repro.quality import pairwise_cluster_quality
+from repro.synth import TemporalStreamConfig, generate_temporal_dataset
+from repro.text import exact_similarity, jaro_winkler_similarity
+
+
+def fields():
+    return [
+        TemporalField("name", jaro_winkler_similarity, weight=2.0, mutable=False),
+        TemporalField("affiliation", exact_similarity, weight=1.0),
+        TemporalField("city", exact_similarity, weight=1.0),
+        TemporalField("topic", exact_similarity, weight=1.0),
+    ]
+
+
+def obs(rid, t, name, affiliation=None, city=None, topic=None):
+    attrs = {"name": name}
+    if affiliation:
+        attrs["affiliation"] = affiliation
+    if city:
+        attrs["city"] = city
+    if topic:
+        attrs["topic"] = topic
+    return Record(rid, "s", attrs, timestamp=t)
+
+
+class TestTemporalMatcher:
+    def test_zero_decay_is_static(self):
+        static = TemporalMatcher(fields(), 0.0, 0.0)
+        early = obs("a", 0.0, "wei li", "univ-rome", "rome", "databases")
+        late = obs("b", 5.0, "wei li", "univ-oslo", "oslo", "systems")
+        near = obs("c", 0.0, "wei li", "univ-oslo", "oslo", "systems")
+        assert static.score(early, late) == pytest.approx(
+            static.score(early, near)
+        )
+
+    def test_disagreement_decay_forgives_old_changes(self):
+        matcher = TemporalMatcher(fields(), disagreement_decay=1.0)
+        early = obs("a", 0.0, "wei li", "univ-rome", "rome", "databases")
+        late = obs("b", 5.0, "wei li", "univ-oslo", "oslo", "systems")
+        near = obs("c", 0.2, "wei li", "univ-oslo", "oslo", "systems")
+        assert matcher.score(early, late) > matcher.score(early, near)
+
+    def test_agreement_decay_weakens_old_agreements(self):
+        matcher = TemporalMatcher(
+            fields(), disagreement_decay=0.0, agreement_decay=1.0
+        )
+        anchor = obs("a", 0.0, "wei li", "univ-rome", "rome", "databases")
+        same_now = obs("b", 0.0, "wei li", "univ-rome", "rome", "databases")
+        same_old = obs("c", 6.0, "wei li", "univ-rome", "rome", "databases")
+        assert matcher.score(anchor, same_now) > matcher.score(
+            anchor, same_old
+        )
+
+    def test_stable_fields_never_decay(self):
+        matcher = TemporalMatcher(fields(), 2.0, 2.0, match_threshold=0.5)
+        a = obs("a", 0.0, "wei li")
+        b = obs("b", 9.0, "wei li")
+        assert matcher.score(a, b) == pytest.approx(1.0)
+
+    def test_no_shared_fields_scores_zero(self):
+        matcher = TemporalMatcher(fields())
+        a = Record("a", "s", {"other": "x"}, timestamp=0.0)
+        b = Record("b", "s", {"name": "y"}, timestamp=0.0)
+        assert matcher.score(a, b) == 0.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            TemporalMatcher([], 0.1)
+        with pytest.raises(ConfigurationError):
+            TemporalMatcher(fields(), -1.0)
+        with pytest.raises(ConfigurationError):
+            TemporalField("x", exact_similarity, weight=0.0)
+
+
+class TestStreamLinkage:
+    @pytest.fixture(scope="class")
+    def stream(self):
+        return generate_temporal_dataset(
+            TemporalStreamConfig(
+                n_entities=30,
+                n_epochs=5,
+                evolution_rate=0.4,
+                namesake_fraction=0.2,
+                seed=9,
+            )
+        )
+
+    def test_decay_beats_static_on_evolving_entities(self, stream):
+        records = list(stream.records())
+        truth = stream.ground_truth
+        static = TemporalMatcher(
+            fields(), 0.0, 0.0, match_threshold=0.75
+        )
+        decayed = TemporalMatcher(
+            fields(), disagreement_decay=0.8, agreement_decay=0.05,
+            match_threshold=0.75,
+        )
+        static_clusters = link_temporal_stream(records, static)
+        decayed_clusters = link_temporal_stream(records, decayed)
+        static_quality = pairwise_cluster_quality(static_clusters, truth)
+        decayed_quality = pairwise_cluster_quality(decayed_clusters, truth)
+        assert decayed_quality.f1 > static_quality.f1
+
+    def test_stream_clusters_partition(self, stream):
+        records = list(stream.records())
+        matcher = TemporalMatcher(fields(), 0.5, 0.05)
+        clusters = link_temporal_stream(records, matcher)
+        flattened = [m for c in clusters for m in c]
+        assert sorted(flattened) == sorted(r.record_id for r in records)

@@ -1,0 +1,117 @@
+"""Coverage for smaller code paths not exercised elsewhere."""
+
+import pytest
+
+from repro.dist import ClusterCostModel, MatchTask
+from repro.quality import format_cell, render_kv, render_table
+from repro.synth import (
+    CorpusConfig,
+    EvolvingWorldConfig,
+    WorldConfig,
+    evolve_world,
+    generate_world,
+)
+from repro.velocity import SnapshotConfig, render_snapshots
+
+
+class TestFormatting:
+    def test_format_cell_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_format_cell_float_digits(self):
+        assert format_cell(1.23456, float_digits=1) == "1.2"
+
+    def test_render_table_empty_rows(self):
+        table = render_table(["a", "b"], [])
+        assert "a" in table and "-" in table
+
+    def test_render_kv_no_title(self):
+        assert render_kv([("x", 1)]) == "x: 1"
+
+
+class TestCostModelEdges:
+    def test_efficiency(self):
+        model = ClusterCostModel(
+            comparison_cost=1.0, task_overhead=0.0, startup=0.0
+        )
+        partition = [
+            [MatchTask("a", ("x", "y", "z"))],
+            [MatchTask("b", ("p", "q", "r"))],
+        ]
+        cost = model.evaluate(partition)
+        assert cost.efficiency == pytest.approx(1.0)
+
+    def test_empty_partition_rejected(self):
+        from repro.core import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ClusterCostModel().evaluate([])
+
+    def test_empty_reducers_allowed(self):
+        model = ClusterCostModel(startup=10.0)
+        cost = model.evaluate([[], []])
+        assert cost.makespan == 10.0
+        assert cost.per_reducer_comparisons == (0, 0)
+
+
+class TestVelocityEdges:
+    def test_sources_not_replaced_when_disabled(self):
+        world = generate_world(
+            WorldConfig(categories=("camera",), entities_per_category=20, seed=5)
+        )
+        worlds = evolve_world(
+            world, EvolvingWorldConfig(n_snapshots=4, seed=6)
+        )
+        snapshots = render_snapshots(
+            worlds,
+            CorpusConfig(
+                n_sources=8, min_source_size=5, max_source_size=15, seed=7
+            ),
+            SnapshotConfig(
+                source_death_rate=0.4, replace_sources=False, seed=8
+            ),
+        )
+        counts = [len(snapshot) for snapshot in snapshots]
+        assert counts[-1] < counts[0], "sources must die off unreplaced"
+
+    def test_no_churn_keeps_everything(self):
+        world = generate_world(
+            WorldConfig(categories=("camera",), entities_per_category=15, seed=5)
+        )
+        worlds = evolve_world(
+            world,
+            EvolvingWorldConfig(
+                n_snapshots=3, change_rate=0.0, death_rate=0.0, seed=6
+            ),
+        )
+        snapshots = render_snapshots(
+            worlds,
+            CorpusConfig(
+                n_sources=4, min_source_size=5, max_source_size=10, seed=7
+            ),
+            SnapshotConfig(
+                source_death_rate=0.0,
+                page_death_rate=0.0,
+                page_birth_rate=0.0,
+                seed=8,
+            ),
+        )
+        from repro.velocity import diff_datasets
+
+        diff = diff_datasets(snapshots[0], snapshots[-1])
+        assert diff.record_survival == 1.0
+        assert not diff.added_records
+        assert not diff.changed_records
+
+    def test_entity_death_without_replacement(self):
+        world = generate_world(
+            WorldConfig(categories=("camera",), entities_per_category=20, seed=5)
+        )
+        worlds = evolve_world(
+            world,
+            EvolvingWorldConfig(
+                n_snapshots=3, death_rate=0.5, replace=False, seed=6
+            ),
+        )
+        assert len(worlds[-1].entities) < len(worlds[0].entities)

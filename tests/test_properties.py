@@ -1,0 +1,226 @@
+"""Library-wide property-based tests (hypothesis).
+
+These check structural invariants that must hold for *any* input, not
+just the curated fixtures: blocking soundness, meta-blocking
+containment, fusion posterior normalization, canonicalization
+idempotence, and clustering partition properties.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GroundTruth, Record
+from repro.fusion import AccuVote, Claim, ClaimSet, VotingFuser
+from repro.linkage import (
+    Block,
+    BlockCollection,
+    CanopyBlocker,
+    MinHashBlocker,
+    QGramBlocker,
+    SortedNeighborhoodBlocker,
+    StandardBlocker,
+    TokenBlocker,
+    connected_components,
+    meta_block,
+)
+from repro.linkage.blocking import normalized_attribute_key, token_set_key
+from repro.quality import bcubed_quality, blocking_quality, total_pairs
+from repro.text import canonical_value, normalize_attribute_name
+
+# --- strategies ------------------------------------------------------
+
+short_word = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+    min_size=1,
+    max_size=8,
+)
+
+
+@st.composite
+def record_lists(draw):
+    n = draw(st.integers(min_value=0, max_value=25))
+    records = []
+    for index in range(n):
+        n_tokens = draw(st.integers(min_value=0, max_value=4))
+        name = " ".join(draw(short_word) for __ in range(n_tokens))
+        attributes = {}
+        if name:
+            attributes["name"] = name
+        if draw(st.booleans()):
+            attributes["color"] = draw(short_word)
+        if not attributes:
+            attributes = {"name": "x"}
+        records.append(Record(f"r{index}", f"s{index % 3}", attributes))
+    return records
+
+
+BLOCKERS = [
+    StandardBlocker(normalized_attribute_key("name")),
+    StandardBlocker(token_set_key("name")),
+    SortedNeighborhoodBlocker(normalized_attribute_key("name"), window=3),
+    CanopyBlocker(loose=0.3, tight=0.7),
+    QGramBlocker(normalized_attribute_key("name"), q=3),
+    TokenBlocker(),
+    MinHashBlocker(n_hashes=16, bands=4),
+]
+
+
+@pytest.mark.parametrize(
+    "blocker", BLOCKERS, ids=lambda b: b.name
+)
+class TestBlockingInvariants:
+    @given(records=record_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_candidates_are_real_record_pairs(self, blocker, records):
+        ids = {record.record_id for record in records}
+        for pair in blocker.block(records).candidate_pairs():
+            assert len(pair) == 2
+            assert pair <= ids
+
+    @given(records=record_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_candidate_count_bounded_by_quadratic(self, blocker, records):
+        pairs = blocker.block(records).candidate_pairs()
+        assert len(pairs) <= total_pairs(len(records))
+
+    @given(records=record_lists())
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic(self, blocker, records):
+        first = blocker.block(records).candidate_pairs()
+        second = blocker.block(list(records)).candidate_pairs()
+        assert first == second
+
+
+class TestMetaBlockingInvariants:
+    @given(records=record_lists())
+    @settings(max_examples=15, deadline=None)
+    def test_pruned_subset_of_unpruned(self, records):
+        blocks = TokenBlocker().block(records)
+        full = blocks.candidate_pairs()
+        for pruning in ("wep", "cep", "wnp", "cnp"):
+            assert meta_block(blocks, pruning=pruning) <= full
+
+    def test_weights_nonnegative(self):
+        from repro.linkage import build_blocking_graph
+
+        blocks = BlockCollection(
+            [Block("a", ("r1", "r2", "r3")), Block("b", ("r1", "r2"))]
+        )
+        for scheme in ("cbs", "js", "arcs"):
+            graph = build_blocking_graph(blocks, weight=scheme)
+            assert all(w >= 0 for w in graph.weights.values())
+
+
+@st.composite
+def claim_sets(draw):
+    n_sources = draw(st.integers(min_value=1, max_value=5))
+    n_items = draw(st.integers(min_value=1, max_value=8))
+    claims = ClaimSet()
+    rng = random.Random(draw(st.integers(min_value=0, max_value=999)))
+    for s in range(n_sources):
+        for i in range(n_items):
+            if rng.random() < 0.8:
+                claims.add(
+                    Claim(f"s{s}", f"i{i}", f"v{rng.randrange(4)}")
+                )
+    if len(claims) == 0:
+        claims.add(Claim("s0", "i0", "v0"))
+    return claims
+
+
+class TestFusionInvariants:
+    @given(claims=claim_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_vote_chooses_claimed_values(self, claims):
+        result = VotingFuser().fuse(claims)
+        for item, value in result.chosen.items():
+            assert value in claims.values_for(item)
+        assert set(result.chosen) == set(claims.items())
+
+    @given(claims=claim_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_accuvote_confidences_are_probabilities(self, claims):
+        result = AccuVote(n_false_values=4, max_iterations=10).fuse(claims)
+        for item in claims.items():
+            assert 0.0 <= result.confidence[item] <= 1.0 + 1e-9
+        for accuracy in result.source_accuracy.values():
+            assert 0.0 < accuracy < 1.0
+
+    @given(claims=claim_sets())
+    @settings(max_examples=15, deadline=None)
+    def test_accuvote_posteriors_sum_to_one_per_item(self, claims):
+        fuser = AccuVote(n_false_values=4, max_iterations=10)
+        result = fuser.fuse(claims)
+        posteriors = fuser._posteriors(claims, result.source_accuracy)
+        for item in claims.items():
+            sigma = sum(
+                posteriors[(item, value)]
+                for value in claims.values_for(item)
+            )
+            assert sigma == pytest.approx(1.0)
+
+
+class TestTextInvariants:
+    @given(st.text(max_size=30))
+    @settings(max_examples=50)
+    def test_canonical_value_idempotent(self, value):
+        once = canonical_value(value)
+        assert canonical_value(once) == once
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=50)
+    def test_normalize_attribute_name_idempotent(self, name):
+        once = normalize_attribute_name(name)
+        assert normalize_attribute_name(once) == once
+
+    @given(
+        st.floats(min_value=0.1, max_value=1000, allow_nan=False),
+    )
+    @settings(max_examples=30)
+    def test_unit_round_trip_inches(self, value):
+        a = canonical_value(f"{value:.6f} in")
+        b = canonical_value(f"{value * 2.54:.6f} cm")
+        # 4 significant digits of slack from canonical formatting.
+        assert a.split()[-1] == b.split()[-1] == "cm"
+        assert float(a.split()[0]) == pytest.approx(
+            float(b.split()[0]), rel=2e-3
+        )
+
+
+class TestClusteringInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=12),
+                st.integers(min_value=0, max_value=12),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30)
+    def test_components_partition(self, edges):
+        pairs = [(f"r{a}", f"r{b}") for a, b in edges if a != b]
+        all_ids = [f"r{i}" for i in range(13)]
+        clusters = connected_components(pairs, all_ids)
+        flattened = sorted(m for c in clusters for m in c)
+        assert flattened == sorted(all_ids)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=4),
+            min_size=1,
+        )
+    )
+    @settings(max_examples=30)
+    def test_bcubed_perfect_for_true_clustering(self, mapping):
+        truth = GroundTruth(
+            {f"r{k}": f"e{v}" for k, v in mapping.items()}
+        )
+        quality = bcubed_quality(truth.true_clusters(), truth)
+        assert quality.precision == pytest.approx(1.0)
+        assert quality.recall == pytest.approx(1.0)

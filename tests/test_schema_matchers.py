@@ -1,0 +1,161 @@
+"""Unit tests for attribute profiling and matchers."""
+
+import pytest
+
+from repro.core import Dataset, Record, Source
+from repro.schema import (
+    HybridMatcher,
+    InstanceMatcher,
+    NameMatcher,
+    profile_attributes,
+)
+
+
+def source_with(source_id, rows):
+    records = [
+        Record(f"{source_id}/{i}", source_id, row)
+        for i, row in enumerate(rows)
+    ]
+    return Source(source_id, records)
+
+
+@pytest.fixture
+def dataset():
+    s1 = source_with(
+        "s1",
+        [
+            {"color": "black", "weight": "200 g", "sku": "AB-1234"},
+            {"color": "red", "weight": "350 g", "sku": "CD-5678"},
+            {"color": "black", "weight": "410 g", "sku": "EF-9012"},
+        ],
+    )
+    s2 = source_with(
+        "s2",
+        [
+            {"colour": "black", "item weight": "0.2 kg", "mpn": "AB-1234"},
+            {"colour": "silver", "item weight": "0.41 kg", "mpn": "EF-9012"},
+        ],
+    )
+    s3 = source_with(
+        "s3",
+        [
+            {"finish": "black", "screen size": "5.5 in"},
+            {"finish": "red", "screen size": "6.1 in"},
+        ],
+    )
+    return Dataset([s1, s2, s3])
+
+
+class TestProfiles:
+    def test_profile_counts(self, dataset):
+        profiles = profile_attributes(dataset)
+        assert ("s1", "color") in profiles
+        assert profiles[("s1", "color")].n_records == 3
+        assert profiles[("s1", "color")].distinct_values == 2
+
+    def test_uniqueness_high_for_identifier(self, dataset):
+        profiles = profile_attributes(dataset)
+        assert profiles[("s1", "sku")].uniqueness == 1.0
+
+    def test_numeric_fraction(self, dataset):
+        profiles = profile_attributes(dataset)
+        assert profiles[("s1", "weight")].numeric_fraction == 1.0
+        assert profiles[("s1", "color")].numeric_fraction == 0.0
+
+    def test_numeric_values_converted_to_base_units(self, dataset):
+        profiles = profile_attributes(dataset)
+        grams = profiles[("s2", "item weight")].numeric_values
+        assert sorted(grams) == pytest.approx([200.0, 410.0])
+
+    def test_source_restriction(self, dataset):
+        profiles = profile_attributes(dataset, sources=["s1"])
+        assert all(key[0] == "s1" for key in profiles)
+
+
+class TestNameMatcher:
+    def test_spelling_variant(self, dataset):
+        profiles = profile_attributes(dataset)
+        matcher = NameMatcher()
+        score = matcher.score(
+            profiles[("s1", "color")], profiles[("s2", "colour")]
+        )
+        assert score > 0.9
+
+    def test_unrelated_names(self, dataset):
+        profiles = profile_attributes(dataset)
+        matcher = NameMatcher()
+        score = matcher.score(
+            profiles[("s1", "sku")], profiles[("s3", "screen size")]
+        )
+        assert score < 0.6
+
+    def test_token_reordering(self, dataset):
+        profiles = profile_attributes(dataset)
+        matcher = NameMatcher()
+        score = matcher.score(
+            profiles[("s1", "weight")], profiles[("s2", "item weight")]
+        )
+        assert score > 0.8
+
+
+class TestInstanceMatcher:
+    def test_synonym_found_by_values(self, dataset):
+        # 'finish' vs 'color' share the value vocabulary.
+        profiles = profile_attributes(dataset)
+        matcher = InstanceMatcher()
+        score = matcher.score(
+            profiles[("s1", "color")], profiles[("s3", "finish")]
+        )
+        assert score > 0.5
+
+    def test_numeric_text_gate(self, dataset):
+        profiles = profile_attributes(dataset)
+        matcher = InstanceMatcher()
+        score = matcher.score(
+            profiles[("s1", "weight")], profiles[("s1", "color")]
+        )
+        assert score == 0.0
+
+    def test_numeric_scale_agreement(self, dataset):
+        # weights in g and kg land on the same base-unit scale.
+        profiles = profile_attributes(dataset)
+        matcher = InstanceMatcher()
+        score = matcher.score(
+            profiles[("s1", "weight")], profiles[("s2", "item weight")]
+        )
+        assert score > 0.4
+
+    def test_different_scales_penalized(self, dataset):
+        profiles = profile_attributes(dataset)
+        matcher = InstanceMatcher()
+        score = matcher.score(
+            profiles[("s1", "weight")], profiles[("s3", "screen size")]
+        )
+        assert score < 0.5
+
+
+class TestHybridMatcher:
+    def test_hybrid_finds_synonym_with_shared_values(self, dataset):
+        profiles = profile_attributes(dataset)
+        hybrid = HybridMatcher()
+        name_only = NameMatcher()
+        synonym = hybrid.score(
+            profiles[("s1", "color")], profiles[("s3", "finish")]
+        )
+        assert synonym > name_only.score(
+            profiles[("s1", "color")], profiles[("s3", "finish")]
+        )
+
+    def test_invalid_weight(self):
+        from repro.core import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            HybridMatcher(name_weight=1.5)
+
+    def test_score_in_range(self, dataset):
+        profiles = profile_attributes(dataset)
+        hybrid = HybridMatcher()
+        keys = list(profiles)
+        for a in keys:
+            for b in keys:
+                assert 0.0 <= hybrid.score(profiles[a], profiles[b]) <= 1.0

@@ -1,0 +1,113 @@
+"""Tests for value-transformation (scale factor) discovery."""
+
+import random
+
+import pytest
+
+from repro.core import Dataset, EmptyInputError, Record, Source
+from repro.schema import (
+    discover_scale_transform,
+    known_unit_ratios,
+    profile_attributes,
+)
+
+
+def profiles_for(column_a, column_b, attr_a="a", attr_b="b"):
+    s1 = Source(
+        "s1",
+        [
+            Record(f"s1/{i}", "s1", {attr_a: value})
+            for i, value in enumerate(column_a)
+        ],
+    )
+    s2 = Source(
+        "s2",
+        [
+            Record(f"s2/{i}", "s2", {attr_b: value})
+            for i, value in enumerate(column_b)
+        ],
+    )
+    profiles = profile_attributes(Dataset([s1, s2]))
+    return profiles[("s1", attr_a)], profiles[("s2", attr_b)]
+
+
+class TestKnownUnitRatios:
+    def test_contains_lb_to_g(self):
+        ratios = known_unit_ratios()
+        assert any(
+            pair in (("lb", "g"), ("lbs", "g"))
+            and ratio == pytest.approx(453.592)
+            for ratio, pair in ratios.items()
+        )
+
+    def test_only_same_dimension_pairs(self):
+        dimension_of = {"g": "w", "kg": "w", "cm": "l", "in": "l"}
+        for __, (unit_a, unit_b) in known_unit_ratios().items():
+            if unit_a in dimension_of and unit_b in dimension_of:
+                assert dimension_of[unit_a] == dimension_of[unit_b]
+
+
+class TestDiscovery:
+    def test_same_entities_exact_conversion(self):
+        rng = random.Random(3)
+        grams = [rng.uniform(500, 3000) for __ in range(50)]
+        left, right = profiles_for(
+            [f"{g:.0f} g" for g in grams],
+            [f"{g / 453.592:.3f} lb" for g in grams],
+            attr_a="weight",
+            attr_b="item weight",
+        )
+        transform = discover_scale_transform(left, right)
+        assert transform.unit_pair in {("lb", "g"), ("lbs", "g")}
+        assert transform.factor == pytest.approx(453.592, rel=0.02)
+        assert transform.confidence > 0.95
+        assert transform.apply(1.0) == pytest.approx(453.592, rel=0.02)
+
+    def test_identity_for_same_unit(self):
+        rng = random.Random(5)
+        values = [f"{rng.uniform(1, 10):.1f} cm" for __ in range(40)]
+        left, right = profiles_for(values, values)
+        transform = discover_scale_transform(left, right)
+        assert transform.factor == 1.0
+        assert transform.unit_pair is None
+        assert transform.confidence > 0.9
+
+    def test_ghz_vs_mhz(self):
+        rng = random.Random(7)
+        ghz = [rng.uniform(1.0, 5.0) for __ in range(50)]
+        left, right = profiles_for(
+            [f"{int(v * 1000)} mhz" for v in ghz],
+            [f"{v:.1f} ghz" for v in ghz],
+        )
+        transform = discover_scale_transform(left, right)
+        # Many conversions share the 1000× ratio; the snapped pair is
+        # a representative, so assert recognition + magnitude only.
+        assert transform.unit_pair is not None
+        assert transform.factor == pytest.approx(1000, rel=0.03)
+
+    def test_unknown_factor_reported_raw(self):
+        left, right = profiles_for(
+            [f"{v}" for v in (70, 70, 70)],
+            [f"{v}" for v in (10, 10, 10)],
+        )
+        transform = discover_scale_transform(left, right)
+        assert transform.factor == pytest.approx(7.0)
+        assert transform.unit_pair is None
+        assert transform.confidence == 0.0
+
+    def test_non_numeric_rejected(self):
+        left, right = profiles_for(["black"], ["red"])
+        with pytest.raises(EmptyInputError):
+            discover_scale_transform(left, right)
+
+    def test_robust_to_outliers(self):
+        rng = random.Random(9)
+        grams = [rng.uniform(500, 3000) for __ in range(60)]
+        noisy = [f"{g:.0f} g" for g in grams]
+        noisy[0] = "999999 g"  # one gross error
+        left, right = profiles_for(
+            noisy, [f"{g / 1000:.3f} kg" for g in grams]
+        )
+        transform = discover_scale_transform(left, right)
+        assert transform.unit_pair is not None
+        assert transform.factor == pytest.approx(1000, rel=0.05)

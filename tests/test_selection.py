@@ -1,0 +1,166 @@
+"""Tests for source profiling, marginal gain, and greedy selection."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.fusion import AccuVote, VotingFuser
+from repro.selection import (
+    GreedySourceSelector,
+    baseline_order,
+    expected_accuracy,
+    marginal_gain,
+    profile_sources,
+    true_accuracy,
+)
+from repro.synth import ClaimWorldConfig, generate_claims
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_claims(
+        ClaimWorldConfig(
+            n_items=150,
+            n_independent=12,
+            accuracy_range=(0.4, 0.95),
+            coverage=0.8,
+            n_false_values=4,
+            seed=31,
+        )
+    )
+
+
+class TestProfiles:
+    def test_coverage_reflects_claims(self, world):
+        stats = profile_sources(world.claims)
+        for source, stat in stats.items():
+            assert stat.coverage == pytest.approx(
+                len(world.claims.claims_by(source)) / 150
+            )
+
+    def test_accuracy_against_reference(self, world):
+        stats = profile_sources(world.claims, reference_truth=world.truth)
+        for source, stat in stats.items():
+            assert stat.accuracy_estimate == pytest.approx(
+                world.accuracies[source], abs=0.15
+            )
+
+    def test_majority_bootstrap_correlates_with_truth(self, world):
+        bootstrap = profile_sources(world.claims)
+        sources = sorted(world.accuracies, key=world.accuracies.get)
+        worst, best = sources[0], sources[-1]
+        assert (
+            bootstrap[best].accuracy_estimate
+            > bootstrap[worst].accuracy_estimate
+        )
+
+
+class TestGain:
+    def test_expected_accuracy_empty_is_zero(self, world):
+        assert expected_accuracy(world.claims, [], VotingFuser()) == 0.0
+
+    def test_expected_accuracy_grows_with_good_sources(self, world):
+        fuser = AccuVote(n_false_values=4)
+        ordered = baseline_order(
+            world.claims, "accuracy", reference_truth=world.truth
+        )
+        few = expected_accuracy(world.claims, ordered[:2], fuser)
+        more = expected_accuracy(world.claims, ordered[:6], fuser)
+        assert more > few
+
+    def test_marginal_gain_definition(self, world):
+        fuser = VotingFuser()
+        sources = list(world.claims.sources())
+        gain = marginal_gain(world.claims, sources[:2], sources[2], fuser)
+        before = expected_accuracy(world.claims, sources[:2], fuser)
+        after = expected_accuracy(world.claims, sources[:3], fuser)
+        assert gain == pytest.approx(after - before)
+
+    def test_true_accuracy_counts_coverage(self, world):
+        fuser = VotingFuser()
+        single = true_accuracy(
+            world.claims, [world.claims.sources()[0]], fuser, world.truth
+        )
+        # One 80%-coverage source can answer at most 80% of items.
+        assert single <= 0.85
+
+
+class TestGreedy:
+    def test_selects_all_without_stopping(self, world):
+        selector = GreedySourceSelector(VotingFuser())
+        result = selector.select(world.claims)
+        assert len(result.order) == 12
+        assert not result.stopped_early
+
+    def test_first_pick_is_high_value(self, world):
+        selector = GreedySourceSelector(AccuVote(n_false_values=4))
+        result = selector.select(world.claims)
+        first = result.order[0]
+        utility = {
+            s: world.accuracies[s]
+            * len(world.claims.claims_by(s))
+            for s in world.claims.sources()
+        }
+        ranked = sorted(utility, key=utility.get, reverse=True)
+        assert first in ranked[:4]
+
+    def test_stops_when_unprofitable(self, world):
+        selector = GreedySourceSelector(
+            VotingFuser(),
+            cost_weight=0.05,
+            stop_when_unprofitable=True,
+        )
+        result = selector.select(world.claims)
+        assert result.stopped_early
+        assert len(result.order) < 12
+
+    def test_max_sources_cap(self, world):
+        selector = GreedySourceSelector(VotingFuser(), max_sources=3)
+        result = selector.select(world.claims)
+        assert len(result.order) == 3
+
+    def test_cumulative_profit_shape(self, world):
+        selector = GreedySourceSelector(VotingFuser(), cost_weight=0.03)
+        result = selector.select(world.claims)
+        profits = result.cumulative_profit()
+        # Profit peaks somewhere strictly before the end (less is more).
+        assert max(profits) > profits[-1] - 1e-12
+
+    def test_invalid_cost_weight(self):
+        with pytest.raises(ConfigurationError):
+            GreedySourceSelector(VotingFuser(), cost_weight=-1)
+
+
+class TestBaselines:
+    def test_random_is_permutation(self, world):
+        order = baseline_order(world.claims, "random", seed=3)
+        assert sorted(order) == sorted(world.claims.sources())
+
+    def test_random_seed_deterministic(self, world):
+        assert baseline_order(world.claims, "random", seed=3) == (
+            baseline_order(world.claims, "random", seed=3)
+        )
+
+    def test_coverage_order(self, world):
+        order = baseline_order(world.claims, "coverage")
+        coverages = [len(world.claims.claims_by(s)) for s in order]
+        assert coverages == sorted(coverages, reverse=True)
+
+    def test_accuracy_order_with_reference(self, world):
+        order = baseline_order(
+            world.claims, "accuracy", reference_truth=world.truth
+        )
+        # The ordering follows each source's *empirical* accuracy
+        # against the reference truth, not the planted probability.
+        def empirical(source):
+            claims = world.claims.claims_by(source)
+            correct = sum(
+                1 for c in claims if world.truth[c.item_id] == c.value
+            )
+            return correct / len(claims)
+
+        accuracies = [empirical(s) for s in order]
+        assert accuracies == sorted(accuracies, reverse=True)
+
+    def test_unknown_strategy(self, world):
+        with pytest.raises(ConfigurationError):
+            baseline_order(world.claims, "zap")

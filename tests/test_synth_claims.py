@@ -1,0 +1,141 @@
+"""Unit tests for planted claim-world generation."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.fusion import ClaimSet
+from repro.synth import ClaimWorldConfig, generate_claims
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return generate_claims(
+        ClaimWorldConfig(
+            n_items=200,
+            n_independent=8,
+            n_copiers=4,
+            accuracy_range=(0.7, 0.9),
+            copy_rate=0.9,
+            seed=42,
+        )
+    )
+
+
+class TestStructure:
+    def test_source_counts(self, planted):
+        assert len(planted.claims.sources()) == 12
+        assert len(planted.independent_sources) == 8
+        assert len(planted.copier_of) == 4
+
+    def test_full_coverage_by_default(self, planted):
+        for source in planted.claims.sources():
+            assert len(planted.claims.claims_by(source)) == 200
+
+    def test_truth_defined_for_every_item(self, planted):
+        for item in planted.claims.items():
+            assert item in planted.truth
+
+    def test_deterministic(self):
+        config = ClaimWorldConfig(n_items=30, n_independent=4, seed=7)
+        p1 = generate_claims(config)
+        p2 = generate_claims(config)
+        assert [
+            (c.source_id, c.item_id, c.value) for c in p1.claims
+        ] == [(c.source_id, c.item_id, c.value) for c in p2.claims]
+
+
+class TestPlantedStatistics:
+    def test_empirical_accuracy_near_planted(self, planted):
+        for source in planted.independent_sources:
+            claims = planted.claims.claims_by(source)
+            correct = sum(
+                1 for c in claims if c.value == planted.truth[c.item_id]
+            )
+            empirical = correct / len(claims)
+            assert empirical == pytest.approx(
+                planted.accuracies[source], abs=0.12
+            )
+
+    def test_copiers_agree_with_parent(self, planted):
+        for copier, parent in planted.copier_of.items():
+            agreements = 0
+            shared = 0
+            for item in planted.claims.items():
+                copier_value = planted.claims.value_of(copier, item)
+                parent_value = planted.claims.value_of(parent, item)
+                if copier_value is None or parent_value is None:
+                    continue
+                shared += 1
+                if copier_value == parent_value:
+                    agreements += 1
+            # With copy_rate=0.9 the copier should agree far more often
+            # than two independent ~0.8-accurate sources (~0.65).
+            assert agreements / shared > 0.8
+
+    def test_partial_coverage(self):
+        planted = generate_claims(
+            ClaimWorldConfig(
+                n_items=100, n_independent=5, coverage=0.5, seed=3
+            )
+        )
+        counts = [
+            len(planted.claims.claims_by(s))
+            for s in planted.claims.sources()
+        ]
+        assert all(20 < c < 80 for c in counts)
+
+    def test_chained_copiers_point_at_copiers_sometimes(self):
+        planted = generate_claims(
+            ClaimWorldConfig(
+                n_items=10,
+                n_independent=2,
+                n_copiers=30,
+                copier_chains=True,
+                seed=1,
+            )
+        )
+        parents = set(planted.copier_of.values())
+        assert any(parent.startswith("cop") for parent in parents)
+
+
+class TestClaimSetModel:
+    def test_duplicate_claim_rejected(self):
+        from repro.core import DataModelError
+        from repro.fusion import Claim
+
+        claims = ClaimSet([Claim("s", "i", "v")])
+        with pytest.raises(DataModelError):
+            claims.add(Claim("s", "i", "w"))
+
+    def test_values_and_supporters(self, planted):
+        item = planted.claims.items()[0]
+        values = planted.claims.values_for(item)
+        assert planted.truth[item] in values or values
+        for value in values:
+            supporters = planted.claims.supporters(item, value)
+            assert all(
+                planted.claims.value_of(s, item) == value for s in supporters
+            )
+
+    def test_restricted_to_sources(self, planted):
+        keep = planted.independent_sources[:2]
+        restricted = planted.claims.restricted_to_sources(keep)
+        assert set(restricted.sources()) == set(keep)
+
+    def test_shared_items_symmetric_size(self, planted):
+        a, b = planted.claims.sources()[:2]
+        assert len(planted.claims.shared_items(a, b)) == len(
+            planted.claims.shared_items(b, a)
+        )
+
+
+class TestValidation:
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigurationError):
+            ClaimWorldConfig(n_items=0)
+        with pytest.raises(ConfigurationError):
+            ClaimWorldConfig(copy_rate=2.0)
+        with pytest.raises(ConfigurationError):
+            ClaimWorldConfig(coverage=0.0)
+        with pytest.raises(ConfigurationError):
+            ClaimWorldConfig(accuracy_range=(0.9, 0.2))

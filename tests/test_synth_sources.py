@@ -1,0 +1,175 @@
+"""Unit tests for source/corpus generation."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.synth import (
+    CorpusConfig,
+    WorldConfig,
+    generate_dataset,
+    generate_world,
+)
+from repro.text import parse_measurement
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(
+        WorldConfig(
+            categories=("camera", "notebook"), entities_per_category=40, seed=3
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def dataset(world):
+    return generate_dataset(
+        world,
+        CorpusConfig(
+            n_sources=12,
+            min_source_size=5,
+            max_source_size=40,
+            typo_rate=0.05,
+            error_rate=0.05,
+            seed=9,
+        ),
+    )
+
+
+class TestGeneration:
+    def test_source_count(self, dataset):
+        assert len(dataset) == 12
+
+    def test_deterministic(self, world):
+        config = CorpusConfig(n_sources=5, seed=21)
+        d1 = generate_dataset(world, config)
+        d2 = generate_dataset(world, config)
+        records_1 = [
+            (r.record_id, dict(r.attributes)) for r in d1.records()
+        ]
+        records_2 = [
+            (r.record_id, dict(r.attributes)) for r in d2.records()
+        ]
+        assert records_1 == records_2
+
+    def test_head_sources_bigger_than_tail(self, dataset):
+        sizes = [len(source) for source in dataset.sources]
+        assert max(sizes) > min(sizes)
+
+    def test_ground_truth_covers_every_record(self, dataset):
+        truth = dataset.ground_truth
+        for record in dataset.records():
+            assert truth.entity_of(record.record_id).startswith(
+                ("camera:", "notebook:")
+            )
+
+    def test_attribute_map_covers_every_attribute(self, dataset):
+        truth = dataset.ground_truth
+        for record in dataset.records():
+            for attribute in record.attributes:
+                mediated = truth.mediated_attribute(
+                    record.source_id, attribute
+                )
+                assert mediated is not None
+
+    def test_schema_heterogeneity_exists(self, dataset):
+        # With dialect noise, multiple distinct names should render the
+        # same mediated attribute across sources.
+        truth = dataset.ground_truth
+        names_for_screen = {
+            attribute
+            for (source, attribute), mediated
+            in truth.attribute_to_mediated.items()
+            if mediated == "screen size"
+        }
+        assert len(names_for_screen) >= 2
+
+    def test_redundancy_exists(self, dataset):
+        # Head entities must appear in multiple sources — the premise of
+        # the redundancy-as-a-friend approach.
+        truth = dataset.ground_truth
+        best = max(
+            len(truth.records_of(entity)) for entity in truth.entities
+        )
+        assert best >= 3
+
+
+class TestValueRendering:
+    def test_unit_variation_preserves_semantics(self, world):
+        config = CorpusConfig(
+            n_sources=10,
+            format_noise=1.0,
+            typo_rate=0.0,
+            error_rate=0.0,
+            missing_rate=0.0,
+            source_accuracy_range=(1.0, 1.0),
+            seed=33,
+        )
+        dataset = generate_dataset(world, config)
+        truth = dataset.ground_truth
+        checked = 0
+        for record in dataset.records():
+            for attribute, value in record.attributes.items():
+                mediated = truth.mediated_attribute(
+                    record.source_id, attribute
+                )
+                if mediated != "weight":
+                    continue
+                entity = truth.entity_of(record.record_id)
+                true_value = truth.true_value(entity, "weight")
+                rendered = parse_measurement(value.lower().replace(",", "."))
+                expected = parse_measurement(true_value)
+                if rendered is None or rendered.unit is None:
+                    continue
+                base_rendered = rendered.in_base_unit()
+                base_expected = expected.in_base_unit()
+                assert base_rendered.value == pytest.approx(
+                    base_expected.value, rel=0.01
+                )
+                checked += 1
+        assert checked > 10
+
+    def test_zero_noise_renders_truth(self, world):
+        config = CorpusConfig(
+            n_sources=4,
+            dialect_noise=0.0,
+            format_noise=0.0,
+            typo_rate=0.0,
+            error_rate=0.0,
+            missing_rate=0.0,
+            source_accuracy_range=(1.0, 1.0),
+            seed=4,
+        )
+        dataset = generate_dataset(world, config)
+        truth = dataset.ground_truth
+        for record in dataset.records():
+            entity = truth.entity_of(record.record_id)
+            for attribute, value in record.attributes.items():
+                mediated = truth.mediated_attribute(
+                    record.source_id, attribute
+                )
+                expected = truth.true_value(entity, mediated)
+                if value.isupper():
+                    assert value.lower() == expected.lower()
+                else:
+                    assert value == expected
+
+
+class TestConfigValidation:
+    def test_bad_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(typo_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(error_rate=-0.1)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(min_source_size=10, max_source_size=5)
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(n_sources=0)
+
+    def test_bad_accuracy_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(source_accuracy_range=(0.9, 0.5))
+        with pytest.raises(ConfigurationError):
+            CorpusConfig(source_accuracy_range=(0.0, 0.5))

@@ -1,0 +1,100 @@
+"""Unit tests for value/name normalization and measurement parsing."""
+
+import pytest
+
+from repro.text import (
+    normalize_attribute_name,
+    normalize_value,
+    normalize_whitespace,
+    parse_measurement,
+    to_base_unit,
+)
+from repro.text.normalize import extract_numbers
+
+
+class TestNormalizeAttributeName:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("Screen-Size (in.)", "screen size in"),
+            ("  WEIGHT  ", "weight"),
+            ("Mega_Pixels", "mega pixels"),
+            ("Größe", "groe"),  # accents stripped, non-ascii dropped
+            ("a--b", "a b"),
+        ],
+    )
+    def test_examples(self, raw, expected):
+        assert normalize_attribute_name(raw) == expected
+
+    def test_idempotent(self):
+        once = normalize_attribute_name("Display: Size!")
+        assert normalize_attribute_name(once) == once
+
+
+class TestNormalizeValue:
+    def test_lowercases_and_collapses(self):
+        assert normalize_value("  BLACK   Metal ") == "black metal"
+
+    def test_strips_accents(self):
+        assert normalize_value("Café") == "cafe"
+
+
+class TestWhitespace:
+    def test_collapse(self):
+        assert normalize_whitespace("a \t b\n c") == "a b c"
+
+
+class TestParseMeasurement:
+    def test_simple(self):
+        m = parse_measurement("5.5 in")
+        assert m.value == 5.5
+        assert m.unit == "in"
+
+    def test_decimal_comma(self):
+        assert parse_measurement("2,5kg").value == 2.5
+
+    def test_bare_number(self):
+        m = parse_measurement("42")
+        assert m.value == 42.0
+        assert m.unit is None
+
+    def test_non_measurement_returns_none(self):
+        assert parse_measurement("black metal") is None
+        assert parse_measurement("13 x 5 cm") is None
+
+    def test_in_base_unit_inches_to_cm(self):
+        base = parse_measurement("2 in").in_base_unit()
+        assert base.unit == "cm"
+        assert base.value == pytest.approx(5.08)
+
+    def test_in_base_unit_unknown_unit_passthrough(self):
+        base = parse_measurement("3 furlongs")
+        assert base is None or base.unit != "cm"
+
+
+class TestUnitConversion:
+    @pytest.mark.parametrize(
+        "value,unit,base,expected",
+        [
+            (1.0, "kg", "g", 1000.0),
+            (1.0, "in", "cm", 2.54),
+            (2.0, "GHz", "hz", 2e9),
+            (1024.0, "mb", "gb", 1.0),
+        ],
+    )
+    def test_known_units(self, value, unit, base, expected):
+        result = to_base_unit(value, unit)
+        assert result is not None
+        assert result[0] == base
+        assert result[1] == pytest.approx(expected)
+
+    def test_unknown_unit(self):
+        assert to_base_unit(1.0, "parsec") is None
+
+
+class TestExtractNumbers:
+    def test_multiple_numbers(self):
+        assert extract_numbers("13 x 5.5 cm") == [13.0, 5.5]
+
+    def test_no_numbers(self):
+        assert extract_numbers("black") == []

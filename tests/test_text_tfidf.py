@@ -1,0 +1,78 @@
+"""Unit tests for TF-IDF weighting and soft TF-IDF similarity."""
+
+import pytest
+
+from repro.core import EmptyInputError
+from repro.text import TfidfModel, soft_tfidf_similarity
+
+
+@pytest.fixture
+def model():
+    return TfidfModel(
+        [
+            "canon camera black",
+            "nikon camera black",
+            "sony headphone black",
+            "lenovo notebook silver",
+        ]
+    )
+
+
+class TestTfidfModel:
+    def test_requires_documents(self):
+        with pytest.raises(EmptyInputError):
+            TfidfModel([])
+
+    def test_rare_tokens_weigh_more(self, model):
+        assert model.idf("canon") > model.idf("black")
+
+    def test_unseen_token_gets_max_weight(self, model):
+        assert model.idf("zzz") >= model.idf("canon")
+
+    def test_vector_is_normalized(self, model):
+        vector = model.vector("canon camera")
+        norm = sum(w * w for w in vector.values())
+        assert norm == pytest.approx(1.0)
+
+    def test_empty_document_vector(self, model):
+        assert model.vector("") == {}
+
+    def test_similarity_identical(self, model):
+        assert model.similarity("canon camera", "canon camera") == pytest.approx(1.0)
+
+    def test_similarity_ranks_discriminative_overlap_higher(self, model):
+        # Sharing the rare token 'canon' should matter more than sharing
+        # the ubiquitous token 'black'.
+        rare = model.similarity("canon camera", "canon notebook")
+        common = model.similarity("black camera", "notebook black")
+        assert rare > common
+
+    def test_accepts_pretokenized(self, model):
+        assert model.similarity(["canon"], ["canon"]) == pytest.approx(1.0)
+
+
+class TestSoftTfidf:
+    def test_tolerates_typos(self, model):
+        hard = model.similarity("canon camera", "cannon camera")
+        soft = soft_tfidf_similarity("canon camera", "cannon camera", model)
+        assert soft > hard
+
+    def test_identical(self, model):
+        assert soft_tfidf_similarity("canon", "canon", model) == pytest.approx(
+            1.0, abs=1e-9
+        )
+
+    def test_disjoint(self, model):
+        assert soft_tfidf_similarity("canon", "lenovo", model) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_invalid_threshold(self, model):
+        with pytest.raises(ValueError):
+            soft_tfidf_similarity("a", "b", model, threshold=0.0)
+
+    def test_empty_both(self, model):
+        assert soft_tfidf_similarity("", "", model) == 1.0
+
+    def test_empty_one(self, model):
+        assert soft_tfidf_similarity("canon", "", model) == 0.0

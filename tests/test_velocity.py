@@ -1,0 +1,213 @@
+"""Tests for snapshots, diffing, and incremental maintenance."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.linkage import (
+    ThresholdClassifier,
+    TokenBlocker,
+    default_product_comparator,
+)
+from repro.quality import pairwise_cluster_quality
+from repro.synth import (
+    CorpusConfig,
+    EvolvingWorldConfig,
+    WorldConfig,
+    evolve_world,
+    generate_world,
+)
+from repro.velocity import (
+    SnapshotConfig,
+    SnapshotMaintainer,
+    diff_datasets,
+    render_snapshots,
+)
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    world = generate_world(
+        WorldConfig(categories=("camera",), entities_per_category=40, seed=5)
+    )
+    worlds = evolve_world(
+        world,
+        EvolvingWorldConfig(
+            n_snapshots=4, change_rate=0.2, death_rate=0.08, seed=6
+        ),
+    )
+    return render_snapshots(
+        worlds,
+        CorpusConfig(
+            n_sources=8, min_source_size=10, max_source_size=30, seed=7
+        ),
+        SnapshotConfig(
+            source_death_rate=0.12,
+            page_death_rate=0.15,
+            page_birth_rate=0.1,
+            seed=8,
+        ),
+    )
+
+
+class TestEvolveWorld:
+    def test_snapshot_zero_is_input(self):
+        world = generate_world(WorldConfig(entities_per_category=10))
+        worlds = evolve_world(world, EvolvingWorldConfig(n_snapshots=3))
+        assert worlds[0] is world
+        assert len(worlds) == 3
+
+    def test_values_change_over_time(self):
+        world = generate_world(
+            WorldConfig(categories=("camera",), entities_per_category=30)
+        )
+        worlds = evolve_world(
+            world,
+            EvolvingWorldConfig(
+                n_snapshots=3, change_rate=0.5, death_rate=0.0
+            ),
+        )
+        changed = 0
+        for entity in worlds[0].entities:
+            later = worlds[2].entity(entity.entity_id)
+            if dict(later.true_values) != dict(entity.true_values):
+                changed += 1
+        assert changed > 10
+
+    def test_identifiers_stable(self):
+        world = generate_world(
+            WorldConfig(categories=("camera",), entities_per_category=20)
+        )
+        worlds = evolve_world(
+            world,
+            EvolvingWorldConfig(
+                n_snapshots=3, change_rate=0.9, death_rate=0.0
+            ),
+        )
+        for entity in worlds[0].entities:
+            later = worlds[2].entity(entity.entity_id)
+            assert later.true_values["product id"] == (
+                entity.true_values["product id"]
+            )
+
+    def test_churn_replaces_entities(self):
+        world = generate_world(
+            WorldConfig(categories=("camera",), entities_per_category=30)
+        )
+        worlds = evolve_world(
+            world,
+            EvolvingWorldConfig(
+                n_snapshots=3, change_rate=0.0, death_rate=0.3
+            ),
+        )
+        first_ids = {e.entity_id for e in worlds[0].entities}
+        last_ids = {e.entity_id for e in worlds[2].entities}
+        assert first_ids != last_ids
+        assert len(last_ids) == len(first_ids)  # replacement keeps size
+
+
+class TestRenderSnapshots:
+    def test_snapshot_count(self, snapshots):
+        assert len(snapshots) == 4
+
+    def test_record_ids_stable_for_surviving_pages(self, snapshots):
+        first_ids = set(snapshots[0].record_ids())
+        second_ids = set(snapshots[1].record_ids())
+        assert first_ids & second_ids  # overlap = surviving pages
+
+    def test_diff_accounts_for_everything(self, snapshots):
+        diff = diff_datasets(snapshots[0], snapshots[1])
+        old_count = snapshots[0].n_records
+        assert (
+            len(diff.removed_records)
+            + len(diff.changed_records)
+            + diff.unchanged_records
+        ) == old_count
+
+    def test_source_churn_observed(self, snapshots):
+        diff = diff_datasets(snapshots[0], snapshots[-1])
+        assert diff.added_sources or diff.removed_sources
+
+    def test_record_survival_below_one(self, snapshots):
+        diff = diff_datasets(snapshots[0], snapshots[-1])
+        assert 0.0 < diff.record_survival < 1.0
+
+    def test_ground_truth_attached(self, snapshots):
+        for snapshot in snapshots:
+            truth = snapshot.ground_truth
+            assert truth is not None
+            for record_id in snapshot.record_ids():
+                assert truth.entity_of(record_id)
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            SnapshotConfig(source_death_rate=2.0)
+        with pytest.raises(ConfigurationError):
+            render_snapshots([])
+
+
+class TestSnapshotMaintainer:
+    def _keys(self):
+        from repro.text import normalize_value, word_tokens
+
+        def all_tokens(record):
+            tokens = set()
+            for value in record.attributes.values():
+                tokens.update(
+                    t
+                    for t in word_tokens(normalize_value(value))
+                    if len(t) >= 2
+                )
+            return tokens
+
+        return [all_tokens]
+
+    def test_incremental_cheaper_than_recompute(self, snapshots):
+        maintainer = SnapshotMaintainer(
+            self._keys(),
+            default_product_comparator(),
+            ThresholdClassifier(0.72),
+        )
+        costs = [maintainer.process_snapshot(s) for s in snapshots]
+        # After the initial build, incremental snapshots must cost less
+        # than a full recompute of the same snapshot.
+        for snapshot, cost in zip(snapshots[1:], costs[1:]):
+            __, full_comparisons = SnapshotMaintainer.full_recompute(
+                snapshot,
+                TokenBlocker(),
+                default_product_comparator(),
+                ThresholdClassifier(0.72),
+            )
+            assert cost.comparisons < full_comparisons
+
+    def test_cluster_quality_tracks_recompute(self, snapshots):
+        maintainer = SnapshotMaintainer(
+            self._keys(),
+            default_product_comparator(),
+            ThresholdClassifier(0.72),
+        )
+        for snapshot in snapshots:
+            maintainer.process_snapshot(snapshot)
+        final = snapshots[-1]
+        incremental_quality = pairwise_cluster_quality(
+            maintainer.clusters(), final.ground_truth
+        )
+        full, __ = SnapshotMaintainer.full_recompute(
+            final,
+            TokenBlocker(),
+            default_product_comparator(),
+            ThresholdClassifier(0.72),
+        )
+        full_quality = pairwise_cluster_quality(full, final.ground_truth)
+        assert incremental_quality.f1 >= full_quality.f1 - 0.1
+
+    def test_clusters_cover_only_alive_records(self, snapshots):
+        maintainer = SnapshotMaintainer(
+            self._keys(),
+            default_product_comparator(),
+            ThresholdClassifier(0.72),
+        )
+        for snapshot in snapshots:
+            maintainer.process_snapshot(snapshot)
+        alive = set(snapshots[-1].record_ids())
+        clustered = {m for c in maintainer.clusters() for m in c}
+        assert clustered <= alive
