@@ -32,7 +32,10 @@ class PipelineConfig:
     redundancy-as-a-friend shortcut). ``numeric_fusion`` re-fuses data
     items whose claims are predominantly measurements through CRH
     numeric truth discovery — loss-aware aggregation instead of exact
-    string voting.
+    string voting. ``execution`` selects the pair-comparison backend
+    (``"serial"`` or ``"process"``, see :mod:`repro.linkage.engine`)
+    with ``n_workers`` processes when multiprocess; match output is
+    identical either way.
     """
 
     schema_threshold: float = 0.6
@@ -44,6 +47,8 @@ class PipelineConfig:
     use_identifier_linkage: bool = True
     n_false_values: int = 8
     numeric_fusion: bool = False
+    execution: str = "serial"
+    n_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.fusion not in {"vote", "truthfinder", "accuvote", "accucopy"}:
@@ -52,6 +57,12 @@ class PipelineConfig:
             raise ConfigurationError(
                 f"unknown classifier {self.classifier!r}"
             )
+        if self.execution not in {"serial", "process"}:
+            raise ConfigurationError(
+                f"unknown execution mode {self.execution!r}"
+            )
+        if self.n_workers is not None and self.n_workers < 1:
+            raise ConfigurationError("n_workers must be >= 1")
 
 
 @dataclass
@@ -131,15 +142,24 @@ class BDIPipeline:
         blocker = TokenBlocker(max_block_size=config.max_block_size)
         if config.classifier == "fellegi-sunter":
             from repro.linkage import fit_fellegi_sunter
+            from repro.linkage.engine import ParallelComparisonEngine
 
             candidates = blocker.block(records).candidate_pairs()
-            by_id = {record.record_id: record for record in records}
-            vectors = [
-                comparator.compare(by_id[a], by_id[b])
-                for a, b in (
-                    sorted(pair) for pair in sorted(candidates, key=sorted)
-                )
-            ]
+            pair_engine = ParallelComparisonEngine(
+                comparator,
+                execution=config.execution,  # type: ignore[arg-type]
+                n_workers=config.n_workers,
+            )
+            vectors = pair_engine.compare_pairs(
+                records,
+                [
+                    (a, b)
+                    for a, b in (
+                        sorted(pair)
+                        for pair in sorted(candidates, key=sorted)
+                    )
+                ],
+            )
             classifier: object = fit_fellegi_sunter(
                 vectors, agreement_threshold=0.8
             )
@@ -153,6 +173,8 @@ class BDIPipeline:
             classifier,  # type: ignore[arg-type]
             clustering=config.clustering,  # type: ignore[arg-type]
             candidate_pairs=candidates,
+            execution=config.execution,  # type: ignore[arg-type]
+            n_workers=config.n_workers,
         )
         clusters = linkage.clusters
         if config.use_identifier_linkage:

@@ -115,6 +115,20 @@ class Record:
         """All attribute values joined into one string (for token blocking)."""
         return separator.join(self._attributes.values())
 
+    def __reduce__(self):
+        # MappingProxyType (and slots) defeat default pickling; rebuild
+        # through __init__ so records can cross process boundaries for
+        # the multiprocess comparison engine.
+        return (
+            Record,
+            (
+                self._record_id,
+                self._source_id,
+                dict(self._attributes),
+                self._timestamp,
+            ),
+        )
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Record):
             return NotImplemented

@@ -24,6 +24,7 @@ from repro.dist.partition import (
 )
 from repro.linkage.blocking.base import BlockCollection
 from repro.linkage.comparison import RecordComparator
+from repro.linkage.engine import ExecutionMode, ParallelComparisonEngine
 from repro.linkage.resolver import MatchClassifier
 
 __all__ = ["DistributedRun", "partition_blocks", "run_distributed_linkage"]
@@ -48,12 +49,20 @@ def partition_blocks(
 
 @dataclass(frozen=True)
 class DistributedRun:
-    """Result of one distributed linkage execution."""
+    """Result of one distributed linkage execution.
+
+    ``n_comparisons`` is the raw task-level comparison count (pairs
+    duplicated across blocks counted once per occurrence — the
+    redundancy a real MapReduce ER job schedules);
+    ``n_unique_comparisons`` is the deduplicated pair count actually
+    scored when memoization is on.
+    """
 
     strategy: str
     match_pairs: set[frozenset[str]]
     cost: PartitionCost
     n_comparisons: int
+    n_unique_comparisons: int = 0
 
 
 def run_distributed_linkage(
@@ -64,34 +73,54 @@ def run_distributed_linkage(
     strategy: StrategyName = "blocksplit",
     n_reducers: int = 4,
     cost_model: ClusterCostModel | None = None,
+    execution: ExecutionMode = "serial",
+    n_workers: int | None = None,
+    memoize: bool = True,
 ) -> DistributedRun:
     """Execute distributed matching and return pairs plus cluster cost.
 
     Matching really runs (every task's pairs are compared), so tests
-    can assert that all strategies produce identical match pairs. Pairs
-    duplicated across blocks are compared once per task occurrence —
-    exactly the redundancy a real MapReduce ER job pays — but the
-    returned match-pair set is deduplicated.
+    can assert that all strategies produce identical match pairs. The
+    simulated cost model still charges every task occurrence, but with
+    ``memoize=True`` (the default) a per-run comparison cache keyed on
+    the pair scores each duplicated block pair only once — the
+    match-pair output is identical either way. Comparison itself goes
+    through the :class:`~repro.linkage.engine.ParallelComparisonEngine`
+    (prepared records, early exit, optional ``execution="process"``
+    backend).
     """
     cost_model = cost_model or ClusterCostModel()
     partition = partition_blocks(blocks, strategy, n_reducers)
     by_id = {record.record_id: record for record in records}
-    match_pairs: set[frozenset[str]] = set()
-    n_comparisons = 0
+    raw_pairs: list[tuple[str, str]] = []
     for tasks in partition:
         for task in tasks:
             for left_id, right_id in task_pairs(task):
-                left = by_id.get(left_id)
-                right = by_id.get(right_id)
-                if left is None or right is None or left_id == right_id:
+                if (
+                    left_id == right_id
+                    or left_id not in by_id
+                    or right_id not in by_id
+                ):
                     continue
-                n_comparisons += 1
-                vector = comparator.compare(left, right)
-                if classifier.is_match(vector):
-                    match_pairs.add(frozenset((left_id, right_id)))
+                raw_pairs.append((left_id, right_id))
+    # First-occurrence dedup (order-preserving, orientation-stable) —
+    # the per-run comparison cache.
+    unique_pairs: list[tuple[str, str]] = []
+    seen: set[frozenset[str]] = set()
+    for pair in raw_pairs:
+        key = frozenset(pair)
+        if key not in seen:
+            seen.add(key)
+            unique_pairs.append(pair)
+    engine = ParallelComparisonEngine(
+        comparator, execution=execution, n_workers=n_workers
+    )
+    scored = unique_pairs if memoize else raw_pairs
+    run = engine.match_pairs(by_id, scored, classifier)
     return DistributedRun(
         strategy=strategy,
-        match_pairs=match_pairs,
+        match_pairs=run.match_pairs,
         cost=cost_model.evaluate(partition),
-        n_comparisons=n_comparisons,
+        n_comparisons=len(raw_pairs),
+        n_unique_comparisons=len(unique_pairs),
     )

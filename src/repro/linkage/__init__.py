@@ -35,10 +35,17 @@ from repro.linkage.clustering import (
     merge_center_clustering,
 )
 from repro.linkage.comparison import (
+    BoundedComparison,
     ComparisonVector,
     FieldComparator,
+    PreparedRecord,
     RecordComparator,
     default_product_comparator,
+)
+from repro.linkage.engine import (
+    EngineRun,
+    ParallelComparisonEngine,
+    prepare_records,
 )
 from repro.linkage.identifier import (
     IdentifierDetection,
@@ -72,9 +79,11 @@ __all__ = [
     "BlockCollection",
     "Blocker",
     "BlockingGraph",
+    "BoundedComparison",
     "CanopyBlocker",
     "ComparisonVector",
     "CompositeBlocker",
+    "EngineRun",
     "FellegiSunterModel",
     "FieldComparator",
     "IdentifierDetection",
@@ -86,6 +95,8 @@ __all__ = [
     "MatchDecision",
     "MatchRule",
     "MinHashBlocker",
+    "ParallelComparisonEngine",
+    "PreparedRecord",
     "ProgressivePoint",
     "QGramBlocker",
     "RecordComparator",
@@ -111,6 +122,7 @@ __all__ = [
     "noisy_oracle",
     "normalize_identifier",
     "order_candidates",
+    "prepare_records",
     "progressive_resolution_curve",
     "r_swoosh",
     "resolve",

@@ -13,27 +13,179 @@ schema translation; pass ``translate`` to apply a
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping, NamedTuple, Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.core.record import Record
-from repro.text.normalize import normalize_value
+from repro.text.normalize import normalize_value, parse_measurement
 from repro.text.similarity import (
+    cosine_similarity,
+    dice_similarity,
     exact_similarity,
+    jaccard_similarity,
+    jaro_similarity,
     jaro_winkler_similarity,
+    levenshtein_similarity,
     measurement_similarity,
+    monge_elkan_similarity,
+    monge_elkan_tokens,
+    numeric_similarity,
+    overlap_coefficient,
     product_name_similarity,
+    product_name_similarity_tokens,
 )
+from repro.text.tokens import word_token_tuple
 
 __all__ = [
     "FieldComparator",
     "ComparisonVector",
+    "PreparedRecord",
+    "BoundedComparison",
     "RecordComparator",
     "default_product_comparator",
 ]
 
 Translator = Callable[[Record], Mapping[str, str]]
+
+
+def _raw_attributes(record: Record) -> Mapping[str, str]:
+    """Default translator (module-level so comparators pickle)."""
+    return record.attributes
+
+
+# --- prepared-input fast path ---------------------------------------
+#
+# A similarity function is *preparable* when the per-value work it does
+# (normalizing, tokenizing, parsing measurements) can be hoisted out of
+# the pair loop. Each known similarity gets a spec: a relative cost
+# rank (drives the staged early-exit evaluation order), a per-value
+# ``prepare`` producing an immutable payload, and a payload-level
+# ``similarity`` that is arithmetic-identical to the string-level
+# function. Unknown similarity callables fall back to a generic spec
+# that passes the (cached-normalized) strings straight through.
+
+
+class _SimilaritySpec(NamedTuple):
+    cost: int
+    prepare: Callable[[str], Any]
+    similarity: Callable[[Any, Any], float]
+
+
+def _identity_payload(value: str) -> str:
+    return value
+
+
+def _prepare_token_set(value: str) -> frozenset[str]:
+    return frozenset(word_token_tuple(value))
+
+
+def _prepare_token_counts(value: str) -> Counter[str]:
+    return Counter(word_token_tuple(value))
+
+
+def _prepare_measurement(value: str) -> tuple[Any, str]:
+    measurement = parse_measurement(value)
+    base = measurement.in_base_unit() if measurement is not None else None
+    return (base, value)
+
+
+def _measurement_payload_similarity(
+    a: tuple[Any, str], b: tuple[Any, str]
+) -> float:
+    base_a, text_a = a
+    base_b, text_b = b
+    if base_a is None or base_b is None:
+        return levenshtein_similarity(
+            text_a.lower().strip(), text_b.lower().strip()
+        )
+    if base_a.unit != base_b.unit:
+        return 0.0
+    return numeric_similarity(base_a.value, base_b.value, tolerance=0.05)
+
+
+def _prepare_product_name(value: str) -> tuple[tuple[str, ...], frozenset[str]]:
+    tokens = word_token_tuple(value)
+    numbers = frozenset(
+        token for token in tokens
+        if any(character.isdigit() for character in token)
+    )
+    return (tokens, numbers)
+
+
+def _product_name_payload_similarity(
+    a: tuple[tuple[str, ...], frozenset[str]],
+    b: tuple[tuple[str, ...], frozenset[str]],
+) -> float:
+    return product_name_similarity_tokens(a[0], a[1], b[0], b[1])
+
+
+def _monge_elkan_payload_similarity(
+    a: tuple[tuple[str, ...], frozenset[str]],
+    b: tuple[tuple[str, ...], frozenset[str]],
+) -> float:
+    return monge_elkan_tokens(a[0], b[0])
+
+
+#: Specs for the similarity functions the library ships. Costs are
+#: relative ranks, cheap → expensive; they only drive evaluation order.
+_SIMILARITY_SPECS: dict[Callable[..., float], _SimilaritySpec] = {
+    exact_similarity: _SimilaritySpec(0, _identity_payload, exact_similarity),
+    measurement_similarity: _SimilaritySpec(
+        1, _prepare_measurement, _measurement_payload_similarity
+    ),
+    jaccard_similarity: _SimilaritySpec(
+        2, _prepare_token_set, jaccard_similarity
+    ),
+    dice_similarity: _SimilaritySpec(2, _prepare_token_set, dice_similarity),
+    overlap_coefficient: _SimilaritySpec(
+        2, _prepare_token_set, overlap_coefficient
+    ),
+    cosine_similarity: _SimilaritySpec(
+        3, _prepare_token_counts, cosine_similarity
+    ),
+    jaro_similarity: _SimilaritySpec(4, _identity_payload, jaro_similarity),
+    jaro_winkler_similarity: _SimilaritySpec(
+        4, _identity_payload, jaro_winkler_similarity
+    ),
+    levenshtein_similarity: _SimilaritySpec(
+        5, _identity_payload, levenshtein_similarity
+    ),
+    monge_elkan_similarity: _SimilaritySpec(
+        9, _prepare_product_name, _monge_elkan_payload_similarity
+    ),
+    product_name_similarity: _SimilaritySpec(
+        10, _prepare_product_name, _product_name_payload_similarity
+    ),
+}
+
+#: Cost rank assumed for similarity callables not in the registry.
+_UNKNOWN_COST = 8
+
+
+def _spec_for(similarity: Callable[..., float]) -> _SimilaritySpec:
+    spec = _SIMILARITY_SPECS.get(similarity)
+    if spec is not None:
+        return spec
+    return _SimilaritySpec(_UNKNOWN_COST, _identity_payload, similarity)
+
+
+@dataclass(frozen=True)
+class PreparedRecord:
+    """A record with all per-value comparison work done once.
+
+    ``payloads`` holds one entry per :class:`FieldComparator` of the
+    comparator that prepared it (``None`` where the field is missing):
+    the normalized value, token tuple, parsed measurement, … whatever
+    that field's similarity consumes. Prepared records are immutable
+    and are only meaningful to the comparator that produced them —
+    records must not change after preparation (library records are
+    immutable by construction).
+    """
+
+    record_id: str
+    payloads: tuple[Any, ...]
 
 
 @dataclass(frozen=True)
@@ -78,6 +230,34 @@ class FieldComparator:
             value_right = normalize_value(value_right)
         return self.similarity(value_left, value_right)
 
+    @property
+    def cost(self) -> int:
+        """Relative cost rank of this field's similarity (cheap → expensive)."""
+        return _spec_for(self.similarity).cost
+
+    def prepare(self, attributes: Mapping[str, str]) -> Any | None:
+        """Hoist this field's per-value work out of the pair loop.
+
+        Returns the payload :meth:`compare_payloads` consumes, or
+        ``None`` when the field is missing from ``attributes``.
+        """
+        value = self._lookup(attributes)
+        if value is None:
+            return None
+        if self.normalize:
+            value = normalize_value(value)
+        return _spec_for(self.similarity).prepare(value)
+
+    def compare_payloads(self, left: Any | None, right: Any | None) -> float | None:
+        """Similarity from prepared payloads; ``None`` when either is missing.
+
+        Arithmetic-identical to :meth:`compare` on the values the
+        payloads were prepared from.
+        """
+        if left is None or right is None:
+            return None
+        return _spec_for(self.similarity).similarity(left, right)
+
 
 @dataclass(frozen=True)
 class ComparisonVector:
@@ -96,6 +276,27 @@ class ComparisonVector:
         return tuple(
             s is not None and s >= threshold for s in self.similarities
         )
+
+
+@dataclass(frozen=True)
+class BoundedComparison:
+    """Outcome of a threshold-bounded (early-exit) pair comparison.
+
+    When the staged evaluation proved the decision before computing
+    every field, ``exact`` is ``False`` and ``score`` is the bound that
+    proved it (an upper bound for rejections, a lower bound for
+    early accepts); ``vector`` is then ``None``. When every present
+    field was evaluated, ``score`` and ``vector`` are byte-identical to
+    :meth:`RecordComparator.compare` output.
+    """
+
+    left_id: str
+    right_id: str
+    is_match: bool
+    score: float
+    exact: bool
+    n_evaluated: int
+    vector: ComparisonVector | None = None
 
 
 class RecordComparator:
@@ -126,8 +327,17 @@ class RecordComparator:
         if missing_penalty is not None and not 0 <= missing_penalty <= 1:
             raise ConfigurationError("missing_penalty must be in [0, 1]")
         self._fields = tuple(fields)
-        self._translate = translate or (lambda record: record.attributes)
+        self._translate = translate or _raw_attributes
         self._missing_penalty = missing_penalty
+        self._specs = tuple(_spec_for(field.similarity) for field in self._fields)
+        # Field indices cheap-to-expensive: the staged evaluation order
+        # of score_bounded (ties broken by declaration order).
+        self._staged_order = tuple(
+            sorted(
+                range(len(self._fields)),
+                key=lambda index: (self._specs[index].cost, index),
+            )
+        )
 
     @property
     def fields(self) -> tuple[FieldComparator, ...]:
@@ -162,6 +372,178 @@ class RecordComparator:
     def score(self, left: Record, right: Record) -> float:
         """Aggregate score only (convenience)."""
         return self.compare(left, right).score
+
+    # --- prepared fast path ------------------------------------------
+
+    def prepare(self, record: Record) -> PreparedRecord:
+        """Normalize/tokenize/parse a record once, for many comparisons.
+
+        The returned :class:`PreparedRecord` is only valid with *this*
+        comparator (payloads line up with its fields) and assumes the
+        record does not change afterwards.
+        """
+        attributes = self._translate(record)
+        return PreparedRecord(
+            record_id=record.record_id,
+            payloads=tuple(
+                field.prepare(attributes) for field in self._fields
+            ),
+        )
+
+    def compare_prepared(
+        self, left: PreparedRecord, right: PreparedRecord
+    ) -> ComparisonVector:
+        """:meth:`compare` over prepared records — identical output,
+        pure similarity arithmetic per pair."""
+        similarities: list[float | None] = []
+        weighted = 0.0
+        total_weight = 0.0
+        for field, spec, payload_left, payload_right in zip(
+            self._fields, self._specs, left.payloads, right.payloads
+        ):
+            if payload_left is None or payload_right is None:
+                similarities.append(None)
+                if self._missing_penalty is not None:
+                    weighted += field.weight * self._missing_penalty
+                    total_weight += field.weight
+                continue
+            similarity = spec.similarity(payload_left, payload_right)
+            similarities.append(similarity)
+            weighted += field.weight * similarity
+            total_weight += field.weight
+        score = weighted / total_weight if total_weight else 0.0
+        return ComparisonVector(
+            left_id=left.record_id,
+            right_id=right.record_id,
+            similarities=tuple(similarities),
+            score=score,
+        )
+
+    #: Safety margin keeping early exits sound under float rounding:
+    #: bounds within this distance of the threshold never trigger an
+    #: exit — the pair is simply evaluated in full.
+    _BOUND_MARGIN = 1e-9
+
+    def score_bounded(
+        self,
+        left: Record | PreparedRecord,
+        right: Record | PreparedRecord,
+        threshold: float,
+        exact_scores: bool = True,
+    ) -> BoundedComparison:
+        """Staged comparison with early exit against ``threshold``.
+
+        Fields are evaluated cheap-to-expensive while tracking the best
+        and worst achievable final score; as soon as the pair provably
+        cannot reach the threshold, the expensive remaining fields
+        (Monge-Elkan / Levenshtein) are skipped. Match decisions agree
+        exactly with ``compare(left, right).score >= threshold``.
+
+        With ``exact_scores=True`` (the default) a pair that *can't
+        lose* is still evaluated fully so matches carry exact scores
+        (what clustering-by-score consumers need); only rejections
+        exit early. With ``exact_scores=False`` both directions exit
+        early and ``score`` may be a bound — cheapest when only the
+        match/non-match decision matters.
+        """
+        prepared_left = (
+            left if isinstance(left, PreparedRecord) else self.prepare(left)
+        )
+        prepared_right = (
+            right if isinstance(right, PreparedRecord) else self.prepare(right)
+        )
+        fields = self._fields
+        specs = self._specs
+        payloads_left = prepared_left.payloads
+        payloads_right = prepared_right.payloads
+
+        # Presence pass: field lookups are already done (payloads), so
+        # the exact denominator and the missing-field contribution are
+        # known before any similarity runs.
+        missing_weighted = 0.0
+        total_weight = 0.0
+        present: list[int] = []
+        remaining = 0.0
+        for index, field in enumerate(fields):
+            if payloads_left[index] is None or payloads_right[index] is None:
+                if self._missing_penalty is not None:
+                    missing_weighted += field.weight * self._missing_penalty
+                    total_weight += field.weight
+            else:
+                present.append(index)
+                total_weight += field.weight
+                remaining += field.weight
+
+        similarities: dict[int, float] = {}
+        if total_weight:
+            weighted = missing_weighted
+            decided_match = False
+            margin = self._BOUND_MARGIN
+            for index in self._staged_order:
+                if payloads_left[index] is None or payloads_right[index] is None:
+                    continue
+                similarity = specs[index].similarity(
+                    payloads_left[index], payloads_right[index]
+                )
+                similarities[index] = similarity
+                weighted += fields[index].weight * similarity
+                remaining -= fields[index].weight
+                if decided_match:
+                    continue  # completing the evaluation for exact scores
+                upper = (weighted + remaining) / total_weight
+                if upper < threshold - margin:
+                    return BoundedComparison(
+                        left_id=prepared_left.record_id,
+                        right_id=prepared_right.record_id,
+                        is_match=False,
+                        score=upper,
+                        exact=False,
+                        n_evaluated=len(similarities),
+                    )
+                lower = weighted / total_weight
+                if lower >= threshold + margin:
+                    if not exact_scores:
+                        return BoundedComparison(
+                            left_id=prepared_left.record_id,
+                            right_id=prepared_right.record_id,
+                            is_match=True,
+                            score=lower,
+                            exact=False,
+                            n_evaluated=len(similarities),
+                        )
+                    decided_match = True
+
+        # Fully evaluated: rebuild the exact vector in declaration
+        # order so the float summation is byte-identical to compare().
+        vector_similarities: list[float | None] = []
+        weighted = 0.0
+        exact_total = 0.0
+        for index, field in enumerate(fields):
+            similarity = similarities.get(index)
+            vector_similarities.append(similarity)
+            if similarity is None:
+                if self._missing_penalty is not None:
+                    weighted += field.weight * self._missing_penalty
+                    exact_total += field.weight
+                continue
+            weighted += field.weight * similarity
+            exact_total += field.weight
+        score = weighted / exact_total if exact_total else 0.0
+        vector = ComparisonVector(
+            left_id=prepared_left.record_id,
+            right_id=prepared_right.record_id,
+            similarities=tuple(vector_similarities),
+            score=score,
+        )
+        return BoundedComparison(
+            left_id=prepared_left.record_id,
+            right_id=prepared_right.record_id,
+            is_match=score >= threshold,
+            score=score,
+            exact=True,
+            n_evaluated=len(similarities),
+            vector=vector,
+        )
 
 
 def default_product_comparator(

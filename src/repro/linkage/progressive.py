@@ -26,7 +26,8 @@ import random as _random
 from repro.core.errors import ConfigurationError
 from repro.core.record import Record
 from repro.linkage.blocking.base import BlockCollection
-from repro.linkage.comparison import RecordComparator
+from repro.linkage.classify.threshold import ThresholdClassifier
+from repro.linkage.comparison import PreparedRecord, RecordComparator
 from repro.linkage.metablocking import build_blocking_graph
 from repro.linkage.resolver import MatchClassifier
 
@@ -103,14 +104,42 @@ def progressive_resolution_curve(
             {max(1, round(total * decile / 10)) for decile in range(1, 11)}
         )
     checkpoints = sorted(set(checkpoints))
+    # Prepared records + decision-only bounded scoring: a progressive
+    # run revisits the same records across many pairs and only needs
+    # the match decision, so this is the cheapest correct path.
+    threshold = (
+        classifier.match_threshold
+        if isinstance(classifier, ThresholdClassifier)
+        else None
+    )
+    prepared: dict[str, PreparedRecord] = {}
+
+    def prepared_for(record_id: str) -> PreparedRecord | None:
+        cached = prepared.get(record_id)
+        if cached is None:
+            record = by_id.get(record_id)
+            if record is None:
+                return None
+            cached = comparator.prepare(record)
+            prepared[record_id] = cached
+        return cached
+
     curve: list[ProgressivePoint] = []
     matches = 0
     next_checkpoint = 0
     for index, pair in enumerate(ordered, start=1):
         left_id, right_id = sorted(pair)
-        left, right = by_id.get(left_id), by_id.get(right_id)
+        left, right = prepared_for(left_id), prepared_for(right_id)
         if left is not None and right is not None:
-            if classifier.is_match(comparator.compare(left, right)):
+            if threshold is not None:
+                is_match = comparator.score_bounded(
+                    left, right, threshold, exact_scores=False
+                ).is_match
+            else:
+                is_match = classifier.is_match(
+                    comparator.compare_prepared(left, right)
+                )
+            if is_match:
                 matches += 1
         while (
             next_checkpoint < len(checkpoints)

@@ -21,6 +21,7 @@ from repro.linkage.clustering import (
     merge_center_clustering,
 )
 from repro.linkage.comparison import ComparisonVector, RecordComparator
+from repro.linkage.engine import ExecutionMode, ParallelComparisonEngine
 
 __all__ = ["MatchClassifier", "LinkageResult", "resolve"]
 
@@ -59,28 +60,37 @@ def resolve(
     classifier: MatchClassifier,
     clustering: ClusteringName = "components",
     candidate_pairs: set[frozenset[str]] | None = None,
+    execution: ExecutionMode = "serial",
+    n_workers: int | None = None,
 ) -> LinkageResult:
     """Run block → compare → classify → cluster over ``records``.
 
     ``candidate_pairs`` overrides the blocker's output when provided
     (e.g. pairs surviving meta-blocking) — the blocker is then not run
     at all.
+
+    Comparison goes through the
+    :class:`~repro.linkage.engine.ParallelComparisonEngine`: records
+    are prepared once, threshold classifiers get staged early-exit
+    scoring, and ``execution="process"`` fans the pair batches out
+    over ``n_workers`` OS processes — all with output identical to the
+    naive per-pair loop.
     """
     by_id = {record.record_id: record for record in records}
     if candidate_pairs is None:
         candidate_pairs = blocker.block(records).candidate_pairs()
-    match_pairs: set[frozenset[str]] = set()
-    scored_edges: list[ScoredEdge] = []
-    for pair in sorted(candidate_pairs, key=sorted):
-        left_id, right_id = sorted(pair)
-        left = by_id.get(left_id)
-        right = by_id.get(right_id)
-        if left is None or right is None:
-            continue
-        vector = comparator.compare(left, right)
-        if classifier.is_match(vector):
-            match_pairs.add(pair)
-            scored_edges.append((left_id, right_id, vector.score))
+    ordered_pairs = [
+        (pair_ids[0], pair_ids[1])
+        for pair_ids in (
+            sorted(pair) for pair in sorted(candidate_pairs, key=sorted)
+        )
+    ]
+    engine = ParallelComparisonEngine(
+        comparator, execution=execution, n_workers=n_workers
+    )
+    run = engine.match_pairs(by_id, ordered_pairs, classifier)
+    match_pairs = run.match_pairs
+    scored_edges: list[ScoredEdge] = run.scored_edges
     all_ids = sorted(by_id)
     if clustering == "components":
         clusters = connected_components(match_pairs, all_ids)

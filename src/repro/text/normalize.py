@@ -13,6 +13,7 @@ from __future__ import annotations
 import re
 import unicodedata
 from dataclasses import dataclass
+from functools import lru_cache
 
 __all__ = [
     "canonical_value",
@@ -82,12 +83,18 @@ def normalize_attribute_name(name: str) -> str:
     return _NON_ALNUM.sub(" ", ascii_only.lower()).strip()
 
 
+@lru_cache(maxsize=16384)
 def normalize_value(value: str) -> str:
     """Canonicalize an attribute value for *string* comparison.
 
     Lowercases, strips accents, and collapses whitespace. Numbers and
     units are preserved textually; use :func:`parse_measurement` when a
     numeric interpretation is wanted.
+
+    Results are memoized (the comparison hot path re-normalizes the
+    same record values once per candidate pair otherwise); the cache is
+    a safety net for callers that bypass the prepared-record fast path
+    of :mod:`repro.linkage.engine`.
     """
     decomposed = unicodedata.normalize("NFKD", value)
     ascii_only = decomposed.encode("ascii", "ignore").decode("ascii")

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import math
 from collections import Counter
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Sequence
 
 from repro.text.normalize import parse_measurement
 from repro.text.tokens import word_tokens
@@ -30,10 +30,12 @@ __all__ = [
     "overlap_coefficient",
     "cosine_similarity",
     "monge_elkan_similarity",
+    "monge_elkan_tokens",
     "numeric_similarity",
     "measurement_similarity",
     "exact_similarity",
     "product_name_similarity",
+    "product_name_similarity_tokens",
 ]
 
 StringSimilarity = Callable[[str, str], float]
@@ -210,6 +212,27 @@ def cosine_similarity(a: Counter[str] | str, b: Counter[str] | str) -> float:
     return dot / (norm_a * norm_b)
 
 
+def monge_elkan_tokens(
+    tokens_a: Sequence[str],
+    tokens_b: Sequence[str],
+    inner: StringSimilarity = jaro_winkler_similarity,
+) -> float:
+    """Monge-Elkan over pre-tokenized inputs (the prepared fast path).
+
+    Identical arithmetic to :func:`monge_elkan_similarity`; callers that
+    have already tokenized (e.g. prepared records) skip re-tokenizing.
+    """
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+
+    def directed(xs: Sequence[str], ys: Sequence[str]) -> float:
+        return sum(max(inner(x, y) for y in ys) for x in xs) / len(xs)
+
+    return (directed(tokens_a, tokens_b) + directed(tokens_b, tokens_a)) / 2.0
+
+
 def monge_elkan_similarity(
     a: str,
     b: str,
@@ -220,17 +243,7 @@ def monge_elkan_similarity(
     Asymmetric in principle; this implementation symmetrizes by
     averaging both directions, which is the common practice.
     """
-    tokens_a = word_tokens(a)
-    tokens_b = word_tokens(b)
-    if not tokens_a and not tokens_b:
-        return 1.0
-    if not tokens_a or not tokens_b:
-        return 0.0
-
-    def directed(xs: list[str], ys: list[str]) -> float:
-        return sum(max(inner(x, y) for y in ys) for x in xs) / len(xs)
-
-    return (directed(tokens_a, tokens_b) + directed(tokens_b, tokens_a)) / 2.0
+    return monge_elkan_tokens(word_tokens(a), word_tokens(b), inner)
 
 
 def numeric_similarity(a: float, b: float, tolerance: float = 0.1) -> float:
@@ -274,27 +287,31 @@ def exact_similarity(a: str, b: str) -> float:
     return 1.0 if a == b else 0.0
 
 
-def _numeric_tokens(text: str) -> set[str]:
+def _numeric_token_set(tokens: Iterable[str]) -> set[str]:
     return {
         token
-        for token in word_tokens(text)
+        for token in tokens
         if any(character.isdigit() for character in token)
     }
 
 
-def product_name_similarity(a: str, b: str) -> float:
-    """Name similarity where mismatched model numbers are near-fatal.
+def _numeric_tokens(text: str) -> set[str]:
+    return _numeric_token_set(word_tokens(text))
 
-    Product names share long brand/series prefixes ("canon pro 512" vs
-    "canon pro 3"), so plain token similarity over-matches. This
-    measure starts from Monge-Elkan and multiplies in the agreement of
-    the *numeric* tokens (soft-matched with Jaro-Winkler ≥ 0.8 so a
-    typo'd digit still counts): names whose model numbers disagree are
-    pushed well below any sensible match threshold.
+
+def product_name_similarity_tokens(
+    tokens_a: Sequence[str],
+    numbers_a: frozenset[str] | set[str],
+    tokens_b: Sequence[str],
+    numbers_b: frozenset[str] | set[str],
+) -> float:
+    """Model-number-aware name similarity over pre-tokenized inputs.
+
+    Identical arithmetic to :func:`product_name_similarity`; ``numbers_*``
+    must be the numeric-token subsets of ``tokens_*`` (see
+    :func:`repro.linkage.engine.prepare_records`, which caches both).
     """
-    base = monge_elkan_similarity(a, b)
-    numbers_a = _numeric_tokens(a)
-    numbers_b = _numeric_tokens(b)
+    base = monge_elkan_tokens(tokens_a, tokens_b)
     if not numbers_a and not numbers_b:
         return base
     if not numbers_a or not numbers_b:
@@ -308,3 +325,21 @@ def product_name_similarity(a: str, b: str) -> float:
             matched += 1
     overlap = matched / max(len(numbers_a), len(numbers_b))
     return base * (0.25 + 0.75 * overlap)
+
+
+def product_name_similarity(a: str, b: str) -> float:
+    """Name similarity where mismatched model numbers are near-fatal.
+
+    Product names share long brand/series prefixes ("canon pro 512" vs
+    "canon pro 3"), so plain token similarity over-matches. This
+    measure starts from Monge-Elkan and multiplies in the agreement of
+    the *numeric* tokens (soft-matched with Jaro-Winkler ≥ 0.8 so a
+    typo'd digit still counts): names whose model numbers disagree are
+    pushed well below any sensible match threshold.
+    """
+    tokens_a = word_tokens(a)
+    tokens_b = word_tokens(b)
+    return product_name_similarity_tokens(
+        tokens_a, _numeric_token_set(tokens_a),
+        tokens_b, _numeric_token_set(tokens_b),
+    )

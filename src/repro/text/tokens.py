@@ -11,16 +11,28 @@ from __future__ import annotations
 
 import re
 from collections import Counter
+from functools import lru_cache
 from typing import Iterable
 
-__all__ = ["word_tokens", "qgrams", "shingles", "token_counts"]
+__all__ = ["word_tokens", "word_token_tuple", "qgrams", "shingles", "token_counts"]
 
 _WORD = re.compile(r"[a-z0-9]+")
 
 
+@lru_cache(maxsize=16384)
+def word_token_tuple(text: str) -> tuple[str, ...]:
+    """Memoized, immutable variant of :func:`word_tokens`.
+
+    The comparison hot path tokenizes the same record values once per
+    candidate pair; caching an immutable tuple makes repeat calls free
+    without risking aliasing bugs from a shared mutable list.
+    """
+    return tuple(_WORD.findall(text.lower()))
+
+
 def word_tokens(text: str) -> list[str]:
     """Lowercased alphanumeric word tokens, in order of appearance."""
-    return _WORD.findall(text.lower())
+    return list(word_token_tuple(text))
 
 
 def qgrams(text: str, q: int = 3, pad: bool = True) -> list[str]:
