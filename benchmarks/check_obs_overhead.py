@@ -1,0 +1,125 @@
+"""Gate: the NullTracer default keeps the E20 engine within noise.
+
+The observability layer (`repro.obs`) wires spans and counters into
+the comparison engine's hot path. By design the default
+:data:`~repro.obs.NULL_TRACER` batches all metric work outside the
+per-pair loops, so the prepared+early-exit throughput must stay where
+`BENCH_engine.json` recorded it before instrumentation existed.
+
+Absolute pairs/sec is machine-dependent (CI runners ≠ the box that
+wrote the baseline), so the gate compares the *relative* speedup of
+the early-exit path over the naive path, measured fresh on this
+machine, against the baseline's ``speedup_vs_naive``. A genuine
+per-pair instrumentation cost would drag the measured ratio down on
+every machine alike; run-to-run noise would not, so the threshold is
+lenient (default: measured ratio must stay above half the recorded
+one — the seed ratio is ~7×, so even a 5% hot-path regression plus
+generous noise clears it, while per-pair tracer calls, which cost
+2-3×, do not).
+
+Run:  PYTHONPATH=src python benchmarks/check_obs_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_e20_engine import THRESHOLD, _corpus_pairs
+
+from repro.linkage import (
+    ParallelComparisonEngine,
+    ThresholdClassifier,
+    default_product_comparator,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def measure_speedup(records, by_id, pairs, repeats: int = 3) -> dict:
+    """Best-of-N naive vs early-exit timing on one corpus."""
+    comparator = default_product_comparator()
+    classifier = ThresholdClassifier(THRESHOLD)
+    engine = ParallelComparisonEngine(comparator)  # NullTracer default
+
+    naive_best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        naive_matches = {
+            frozenset(pair)
+            for pair in pairs
+            if comparator.compare(by_id[pair[0]], by_id[pair[1]]).score
+            >= THRESHOLD
+        }
+        naive_best = min(naive_best, time.perf_counter() - start)
+
+    early_best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        run = engine.match_pairs(by_id, pairs, classifier)
+        early_best = min(early_best, time.perf_counter() - start)
+    if run.match_pairs != naive_matches:
+        raise SystemExit("early-exit disagrees with naive on match pairs")
+
+    return {
+        "n_pairs": len(pairs),
+        "naive_pairs_per_sec": round(len(pairs) / naive_best, 1),
+        "early_exit_pairs_per_sec": round(len(pairs) / early_best, 1),
+        "measured_speedup": round(naive_best / early_best, 2),
+    }
+
+
+def baseline_speedup(path: Path = BASELINE_PATH) -> float:
+    payload = json.loads(path.read_text())
+    by_mode = {row["mode"]: row for row in payload["modes"]}
+    return by_mode["early-exit"]["speedup_vs_naive"]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus (CI smoke); the ratio gate is corpus-robust",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.5,
+        help="measured speedup must exceed this fraction of the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    n_entities, n_sources = (20, 6) if args.quick else (60, 12)
+    records, by_id, pairs = _corpus_pairs(n_entities, n_sources)
+    measured = measure_speedup(records, by_id, pairs, repeats=args.repeats)
+    recorded = baseline_speedup()
+    floor = args.min_ratio * recorded
+
+    print("NullTracer overhead gate (early-exit vs naive speedup)")
+    print(f"  corpus:            {n_entities} entities x {n_sources} sources"
+          f" -> {measured['n_pairs']} pairs")
+    print(f"  naive:             {measured['naive_pairs_per_sec']} pairs/sec")
+    print(f"  early-exit:        {measured['early_exit_pairs_per_sec']}"
+          " pairs/sec  (instrumented path, NullTracer)")
+    print(f"  measured speedup:  {measured['measured_speedup']}x")
+    print(f"  baseline speedup:  {recorded}x  (BENCH_engine.json)")
+    print(f"  required:          > {floor:.2f}x")
+    if measured["measured_speedup"] <= floor:
+        raise SystemExit(
+            f"instrumentation overhead detected: measured speedup "
+            f"{measured['measured_speedup']}x <= {floor:.2f}x "
+            f"({args.min_ratio} x baseline {recorded}x)"
+        )
+    print("  OK: NullTracer path within noise of the recorded baseline")
+
+
+if __name__ == "__main__":
+    main()

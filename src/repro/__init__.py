@@ -24,6 +24,7 @@ Subpackages
 - :mod:`repro.schema` — attribute matching, mediated & probabilistic schemas
 - :mod:`repro.linkage` — blocking, meta-blocking, classifiers, clustering
 - :mod:`repro.dist` — simulated MapReduce, skew-aware partitioning
+- :mod:`repro.obs` — tracing spans, metrics registry, run reports
 - :mod:`repro.fusion` — voting, TruthFinder, AccuVote, AccuCopy, online
 - :mod:`repro.selection` — source profiling, less-is-more selection
 - :mod:`repro.velocity` — snapshots, diffing, incremental maintenance

@@ -105,8 +105,17 @@ class BDIPipeline:
         """The pipeline configuration."""
         return self._config
 
-    def run(self, dataset: Dataset) -> PipelineResult:
-        """Execute the full pipeline over ``dataset``."""
+    def run(self, dataset: Dataset, tracer=None) -> PipelineResult:
+        """Execute the full pipeline over ``dataset``.
+
+        ``tracer`` (an :class:`repro.obs.Tracer`, default no-op)
+        records one span per stage — schema alignment, record linkage
+        (with the engine's comparison counters nested inside), claim
+        extraction, fusion (with per-iteration convergence deltas),
+        entity-table materialization — plus the text-layer cache
+        gauges. Call ``tracer.report()`` afterwards for the structured
+        run artifact, or use :meth:`run_instrumented`.
+        """
         from repro.fusion import (
             AccuCopy,
             AccuVote,
@@ -124,109 +133,158 @@ class BDIPipeline:
             link_by_identifier,
             resolve,
         )
+        from repro.obs import NULL_TRACER, observe_text_caches
         from repro.quality import clusters_to_pairs
         from repro.schema import build_mediated_schema, profile_attributes
         from repro.text import canonical_value
 
+        tracer = tracer if tracer is not None else NULL_TRACER
         config = self._config
         records = list(dataset.records())
 
-        # 1. Schema alignment.
-        schema = build_mediated_schema(
-            dataset, threshold=config.schema_threshold
-        )
-
-        # 2. Record linkage: similarity-based, optionally fortified by
-        #    identifier joins (both feed one transitive closure).
-        comparator = default_product_comparator()
-        blocker = TokenBlocker(max_block_size=config.max_block_size)
-        if config.classifier == "fellegi-sunter":
-            from repro.linkage import fit_fellegi_sunter
-            from repro.linkage.engine import ParallelComparisonEngine
-
-            candidates = blocker.block(records).candidate_pairs()
-            pair_engine = ParallelComparisonEngine(
-                comparator,
-                execution=config.execution,  # type: ignore[arg-type]
-                n_workers=config.n_workers,
-            )
-            vectors = pair_engine.compare_pairs(
-                records,
-                [
-                    (a, b)
-                    for a, b in (
-                        sorted(pair)
-                        for pair in sorted(candidates, key=sorted)
-                    )
-                ],
-            )
-            classifier: object = fit_fellegi_sunter(
-                vectors, agreement_threshold=0.8
-            )
-        else:
-            candidates = None
-            classifier = ThresholdClassifier(config.match_threshold)
-        linkage = resolve(
-            records,
-            blocker,
-            comparator,
-            classifier,  # type: ignore[arg-type]
-            clustering=config.clustering,  # type: ignore[arg-type]
-            candidate_pairs=candidates,
-            execution=config.execution,  # type: ignore[arg-type]
-            n_workers=config.n_workers,
-        )
-        clusters = linkage.clusters
-        if config.use_identifier_linkage:
-            profiles = profile_attributes(dataset)
-            detections = detect_identifier_attributes(profiles)
-            identifier_clusters = link_by_identifier(records, detections)
-            pairs = clusters_to_pairs(clusters) | clusters_to_pairs(
-                identifier_clusters
-            )
-            clusters = connected_components(
-                pairs, [record.record_id for record in records]
-            )
-
-        # 3. Claims: one claim per (source, cluster, mediated attribute),
-        #    values canonicalized so format variants agree.
-        claim_set = ClaimSet()
-        cluster_of: dict[str, str] = {}
-        for cluster in clusters:
-            cluster_id = min(cluster)
-            for record_id in cluster:
-                cluster_of[record_id] = cluster_id
-        seen: set[tuple[str, str]] = set()
-        for record in records:
-            cluster_id = cluster_of[record.record_id]
-            translated = schema.translate(record)
-            for attribute, value in translated.items():
-                item_id = f"{cluster_id}::{attribute}"
-                key = (record.source_id, item_id)
-                if key in seen:
-                    continue
-                seen.add(key)
-                claim_set.add(
-                    Claim(record.source_id, item_id, canonical_value(value))
+        with tracer.span(
+            "pipeline.run",
+            n_records=len(records),
+            n_sources=len(dataset),
+            execution=config.execution,
+        ) as run_span:
+            # 1. Schema alignment.
+            with tracer.span("pipeline.schema_alignment") as span:
+                schema = build_mediated_schema(
+                    dataset, threshold=config.schema_threshold
                 )
+                span.set("n_attribute_clusters", len(schema.clusters()))
 
-        # 4. Fusion.
-        fusers = {
-            "vote": VotingFuser(),
-            "truthfinder": TruthFinder(),
-            "accuvote": AccuVote(n_false_values=config.n_false_values),
-            "accucopy": AccuCopy(n_false_values=config.n_false_values),
-        }
-        fusion = fusers[config.fusion].fuse(claim_set)
+            # 2. Record linkage: similarity-based, optionally fortified
+            #    by identifier joins (both feed one transitive closure).
+            with tracer.span(
+                "pipeline.record_linkage", classifier=config.classifier
+            ) as span:
+                comparator = default_product_comparator()
+                blocker = TokenBlocker(max_block_size=config.max_block_size)
+                if config.classifier == "fellegi-sunter":
+                    from repro.linkage import fit_fellegi_sunter
+                    from repro.linkage.engine import ParallelComparisonEngine
 
-        if config.numeric_fusion:
-            fusion = self._refuse_numeric_items(claim_set, fusion)
+                    candidates = blocker.block(records).candidate_pairs()
+                    pair_engine = ParallelComparisonEngine(
+                        comparator,
+                        execution=config.execution,  # type: ignore[arg-type]
+                        n_workers=config.n_workers,
+                        tracer=tracer,
+                    )
+                    vectors = pair_engine.compare_pairs(
+                        records,
+                        [
+                            (a, b)
+                            for a, b in (
+                                sorted(pair)
+                                for pair in sorted(candidates, key=sorted)
+                            )
+                        ],
+                    )
+                    classifier: object = fit_fellegi_sunter(
+                        vectors, agreement_threshold=0.8, tracer=tracer
+                    )
+                else:
+                    candidates = None
+                    classifier = ThresholdClassifier(config.match_threshold)
+                linkage = resolve(
+                    records,
+                    blocker,
+                    comparator,
+                    classifier,  # type: ignore[arg-type]
+                    clustering=config.clustering,  # type: ignore[arg-type]
+                    candidate_pairs=candidates,
+                    execution=config.execution,  # type: ignore[arg-type]
+                    n_workers=config.n_workers,
+                    tracer=tracer,
+                )
+                clusters = linkage.clusters
+                span.set("n_candidates", linkage.n_candidates)
+                span.set("n_similarity_clusters", len(clusters))
+                if config.use_identifier_linkage:
+                    with tracer.span("pipeline.identifier_linkage") as id_span:
+                        profiles = profile_attributes(dataset)
+                        detections = detect_identifier_attributes(profiles)
+                        identifier_clusters = link_by_identifier(
+                            records, detections
+                        )
+                        pairs = clusters_to_pairs(
+                            clusters
+                        ) | clusters_to_pairs(identifier_clusters)
+                        clusters = connected_components(
+                            pairs,
+                            [record.record_id for record in records],
+                        )
+                        id_span.set("n_identifiers", len(detections))
+                        id_span.set("n_clusters", len(clusters))
+                span.set("n_clusters", len(clusters))
+                tracer.counter("pipeline.clusters").inc(len(clusters))
 
-        # 5. Entity table.
-        entity_table: dict[str, dict[str, str]] = {}
-        for item_id, value in fusion.chosen.items():
-            cluster_id, __, attribute = item_id.partition("::")
-            entity_table.setdefault(cluster_id, {})[attribute] = value
+            # 3. Claims: one claim per (source, cluster, mediated
+            #    attribute), values canonicalized so format variants agree.
+            with tracer.span("pipeline.claims") as span:
+                claim_set = ClaimSet()
+                cluster_of: dict[str, str] = {}
+                for cluster in clusters:
+                    cluster_id = min(cluster)
+                    for record_id in cluster:
+                        cluster_of[record_id] = cluster_id
+                seen: set[tuple[str, str]] = set()
+                for record in records:
+                    cluster_id = cluster_of[record.record_id]
+                    translated = schema.translate(record)
+                    for attribute, value in translated.items():
+                        item_id = f"{cluster_id}::{attribute}"
+                        key = (record.source_id, item_id)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        claim_set.add(
+                            Claim(
+                                record.source_id,
+                                item_id,
+                                canonical_value(value),
+                            )
+                        )
+                span.set("n_claims", len(claim_set))
+                span.set("n_items", len(claim_set.items()))
+
+            # 4. Fusion.
+            with tracer.span(
+                "pipeline.fusion", algorithm=config.fusion
+            ) as span:
+                fusers = {
+                    "vote": VotingFuser(),
+                    "truthfinder": TruthFinder(tracer=tracer),
+                    "accuvote": AccuVote(
+                        n_false_values=config.n_false_values
+                    ),
+                    "accucopy": AccuCopy(
+                        n_false_values=config.n_false_values,
+                        tracer=tracer,
+                    ),
+                }
+                fusion = fusers[config.fusion].fuse(claim_set)
+
+                if config.numeric_fusion:
+                    fusion = self._refuse_numeric_items(claim_set, fusion)
+                span.set("iterations", fusion.iterations)
+
+            # 5. Entity table.
+            with tracer.span("pipeline.entity_table") as span:
+                entity_table: dict[str, dict[str, str]] = {}
+                for item_id, value in fusion.chosen.items():
+                    cluster_id, __, attribute = item_id.partition("::")
+                    entity_table.setdefault(cluster_id, {})[
+                        attribute
+                    ] = value
+                span.set("n_entities", len(entity_table))
+
+            tracer.counter("pipeline.records").inc(len(records))
+            run_span.set("n_clusters", len(clusters))
+            observe_text_caches(tracer)
 
         return PipelineResult(
             schema=schema,
@@ -236,6 +294,21 @@ class BDIPipeline:
             clusters=clusters,
             entity_table=entity_table,
         )
+
+    def run_instrumented(
+        self, dataset: Dataset, clock=None
+    ) -> "tuple[PipelineResult, object]":
+        """Run with a fresh :class:`repro.obs.Tracer` and report both.
+
+        Returns ``(result, run_report)`` where the report is the
+        structured :class:`repro.obs.RunReport` artifact — the
+        one-call form benchmarks and CI use.
+        """
+        from repro.obs import Tracer
+
+        tracer = Tracer(clock=clock)
+        result = self.run(dataset, tracer=tracer)
+        return result, tracer.report(name="pipeline")
 
     @staticmethod
     def _refuse_numeric_items(claim_set, fusion):

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
 
 from repro.core.errors import ConfigurationError
+from repro.obs import NULL_TRACER
 
 __all__ = ["MapReduceJob", "JobResult", "ReducerMetrics", "hash_partitioner"]
 
@@ -94,6 +95,13 @@ class MapReduceJob(Generic[I, K, V, O]):
     cost_function:
         Work units one key's reduce call costs; defaults to
         ``len(values)``. ER jobs pass comparison counts here.
+    tracer:
+        An :class:`repro.obs.Tracer` (default no-op). Each run records
+        a span plus map/shuffle/reduce counters; the per-reducer
+        metrics this engine already meters are aggregated back into the
+        parent run's registry as a reducer-cost histogram and a skew
+        gauge (the single-process analogue of the worker collection
+        protocol).
     """
 
     def __init__(
@@ -103,6 +111,7 @@ class MapReduceJob(Generic[I, K, V, O]):
         n_reducers: int = 4,
         partitioner: Partitioner | None = None,
         cost_function: CostFunction | None = None,
+        tracer=None,
     ) -> None:
         if n_reducers < 1:
             raise ConfigurationError("n_reducers must be >= 1")
@@ -111,6 +120,7 @@ class MapReduceJob(Generic[I, K, V, O]):
         self._n_reducers = n_reducers
         self._partitioner = partitioner or hash_partitioner
         self._cost = cost_function or (lambda key, values: float(len(values)))
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def n_reducers(self) -> int:
@@ -119,43 +129,71 @@ class MapReduceJob(Generic[I, K, V, O]):
 
     def run(self, inputs: Sequence[I]) -> JobResult[O]:
         """Execute the job and return outputs plus reducer metrics."""
-        # Map + shuffle.
-        partitions: list[dict[K, list[V]]] = [
-            {} for __ in range(self._n_reducers)
-        ]
-        n_map_outputs = 0
-        for item in inputs:
-            for key, value in self._map(item):
-                index = self._partitioner(key, self._n_reducers)
-                if not 0 <= index < self._n_reducers:
-                    raise ConfigurationError(
-                        f"partitioner returned {index} for {self._n_reducers} "
-                        "reducers"
+        with self._tracer.span(
+            "mapreduce.run", n_reducers=self._n_reducers
+        ) as span:
+            # Map + shuffle.
+            partitions: list[dict[K, list[V]]] = [
+                {} for __ in range(self._n_reducers)
+            ]
+            n_map_outputs = 0
+            for item in inputs:
+                for key, value in self._map(item):
+                    index = self._partitioner(key, self._n_reducers)
+                    if not 0 <= index < self._n_reducers:
+                        raise ConfigurationError(
+                            f"partitioner returned {index} for "
+                            f"{self._n_reducers} reducers"
+                        )
+                    partitions[index].setdefault(key, []).append(value)
+                    n_map_outputs += 1
+            # Reduce, metering per-reducer work. Keys are sorted so output
+            # order is deterministic regardless of dict insertion order.
+            outputs: list[O] = []
+            metrics: list[ReducerMetrics] = []
+            for reducer_index, partition in enumerate(partitions):
+                cost = 0.0
+                n_values = 0
+                for key in sorted(partition, key=repr):
+                    values = partition[key]
+                    n_values += len(values)
+                    cost += self._cost(key, values)
+                    outputs.extend(self._reduce(key, values))
+                metrics.append(
+                    ReducerMetrics(
+                        reducer=reducer_index,
+                        n_keys=len(partition),
+                        n_values=n_values,
+                        cost=cost,
                     )
-                partitions[index].setdefault(key, []).append(value)
-                n_map_outputs += 1
-        # Reduce, metering per-reducer work. Keys are sorted so output
-        # order is deterministic regardless of dict insertion order.
-        outputs: list[O] = []
-        metrics: list[ReducerMetrics] = []
-        for reducer_index, partition in enumerate(partitions):
-            cost = 0.0
-            n_values = 0
-            for key in sorted(partition, key=repr):
-                values = partition[key]
-                n_values += len(values)
-                cost += self._cost(key, values)
-                outputs.extend(self._reduce(key, values))
-            metrics.append(
-                ReducerMetrics(
-                    reducer=reducer_index,
-                    n_keys=len(partition),
-                    n_values=n_values,
-                    cost=cost,
                 )
+            result = JobResult(
+                outputs=outputs,
+                reducer_metrics=tuple(metrics),
+                n_map_outputs=n_map_outputs,
             )
-        return JobResult(
-            outputs=outputs,
-            reducer_metrics=tuple(metrics),
-            n_map_outputs=n_map_outputs,
+            self._record_metrics(span, inputs, result)
+        return result
+
+    def _record_metrics(
+        self, span, inputs: Sequence[I], result: JobResult[O]
+    ) -> None:
+        """Aggregate the job's per-reducer metering into the registry."""
+        tracer = self._tracer
+        tracer.counter("mapreduce.map_inputs").inc(len(inputs))
+        tracer.counter("mapreduce.map_outputs").inc(result.n_map_outputs)
+        tracer.counter("mapreduce.reduce_keys").inc(
+            sum(metric.n_keys for metric in result.reducer_metrics)
         )
+        tracer.counter("mapreduce.reduce_values").inc(
+            sum(metric.n_values for metric in result.reducer_metrics)
+        )
+        histogram = tracer.histogram("mapreduce.reducer_cost")
+        histogram.observe_many(
+            metric.cost for metric in result.reducer_metrics
+        )
+        tracer.gauge("mapreduce.skew").set(result.skew)
+        span.set("n_inputs", len(inputs))
+        span.set("n_map_outputs", result.n_map_outputs)
+        span.set("makespan_cost", result.makespan_cost)
+        span.set("skew", round(result.skew, 4))

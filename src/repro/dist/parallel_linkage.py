@@ -26,6 +26,7 @@ from repro.linkage.blocking.base import BlockCollection
 from repro.linkage.comparison import RecordComparator
 from repro.linkage.engine import ExecutionMode, ParallelComparisonEngine
 from repro.linkage.resolver import MatchClassifier
+from repro.obs import NULL_TRACER, observe_block_collection
 
 __all__ = ["DistributedRun", "partition_blocks", "run_distributed_linkage"]
 
@@ -76,6 +77,7 @@ def run_distributed_linkage(
     execution: ExecutionMode = "serial",
     n_workers: int | None = None,
     memoize: bool = True,
+    tracer=None,
 ) -> DistributedRun:
     """Execute distributed matching and return pairs plus cluster cost.
 
@@ -88,39 +90,63 @@ def run_distributed_linkage(
     through the :class:`~repro.linkage.engine.ParallelComparisonEngine`
     (prepared records, early exit, optional ``execution="process"``
     backend).
+
+    ``tracer`` (an :class:`repro.obs.Tracer`, default no-op) records a
+    span per run with per-reducer comparison counts, plus counters
+    surfacing the raw/deduplicated comparison split — memoization hits
+    are ``dist.comparisons_raw - dist.comparisons_unique``.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     cost_model = cost_model or ClusterCostModel()
-    partition = partition_blocks(blocks, strategy, n_reducers)
-    by_id = {record.record_id: record for record in records}
-    raw_pairs: list[tuple[str, str]] = []
-    for tasks in partition:
-        for task in tasks:
-            for left_id, right_id in task_pairs(task):
-                if (
-                    left_id == right_id
-                    or left_id not in by_id
-                    or right_id not in by_id
-                ):
-                    continue
-                raw_pairs.append((left_id, right_id))
-    # First-occurrence dedup (order-preserving, orientation-stable) —
-    # the per-run comparison cache.
-    unique_pairs: list[tuple[str, str]] = []
-    seen: set[frozenset[str]] = set()
-    for pair in raw_pairs:
-        key = frozenset(pair)
-        if key not in seen:
-            seen.add(key)
-            unique_pairs.append(pair)
-    engine = ParallelComparisonEngine(
-        comparator, execution=execution, n_workers=n_workers
-    )
-    scored = unique_pairs if memoize else raw_pairs
-    run = engine.match_pairs(by_id, scored, classifier)
+    with tracer.span(
+        "dist.linkage", strategy=strategy, n_reducers=n_reducers
+    ) as span:
+        partition = partition_blocks(blocks, strategy, n_reducers)
+        observe_block_collection(tracer, blocks, prefix="dist.blocking")
+        by_id = {record.record_id: record for record in records}
+        raw_pairs: list[tuple[str, str]] = []
+        per_reducer = tracer.histogram("dist.reducer_comparisons")
+        for tasks in partition:
+            reducer_pairs = 0
+            for task in tasks:
+                for left_id, right_id in task_pairs(task):
+                    if (
+                        left_id == right_id
+                        or left_id not in by_id
+                        or right_id not in by_id
+                    ):
+                        continue
+                    raw_pairs.append((left_id, right_id))
+                    reducer_pairs += 1
+            per_reducer.observe(float(reducer_pairs))
+        # First-occurrence dedup (order-preserving, orientation-stable) —
+        # the per-run comparison cache.
+        unique_pairs: list[tuple[str, str]] = []
+        seen: set[frozenset[str]] = set()
+        for pair in raw_pairs:
+            key = frozenset(pair)
+            if key not in seen:
+                seen.add(key)
+                unique_pairs.append(pair)
+        engine = ParallelComparisonEngine(
+            comparator, execution=execution, n_workers=n_workers,
+            tracer=tracer,
+        )
+        scored = unique_pairs if memoize else raw_pairs
+        run = engine.match_pairs(by_id, scored, classifier)
+        cost = cost_model.evaluate(partition)
+        tracer.counter("dist.comparisons_raw").inc(len(raw_pairs))
+        tracer.counter("dist.comparisons_unique").inc(len(unique_pairs))
+        tracer.counter("dist.memoization_hits").inc(
+            len(raw_pairs) - len(unique_pairs) if memoize else 0
+        )
+        span.set("n_comparisons", len(raw_pairs))
+        span.set("n_unique_comparisons", len(unique_pairs))
+        span.set("makespan", cost.makespan)
     return DistributedRun(
         strategy=strategy,
         match_pairs=run.match_pairs,
-        cost=cost_model.evaluate(partition),
+        cost=cost,
         n_comparisons=len(raw_pairs),
         n_unique_comparisons=len(unique_pairs),
     )

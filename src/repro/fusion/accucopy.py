@@ -30,6 +30,7 @@ from repro.core.errors import ConfigurationError
 from repro.fusion.base import ClaimSet, Fuser, FusionResult
 from repro.fusion.copydetect import CopyDetector
 from repro.fusion.voting import VotingFuser
+from repro.obs import NULL_TRACER
 
 __all__ = ["AccuCopy"]
 
@@ -49,6 +50,9 @@ class AccuCopy(Fuser):
         strength).
     outer_iterations:
         Rounds of (detect → discount-vote → re-estimate accuracy).
+    tracer:
+        An :class:`repro.obs.Tracer` (default no-op); each fuse records
+        a span carrying the per-round accuracy-change deltas.
     """
 
     name = "accucopy"
@@ -60,6 +64,7 @@ class AccuCopy(Fuser):
         detector: CopyDetector | None = None,
         outer_iterations: int = 5,
         tolerance: float = 1e-3,
+        tracer=None,
     ) -> None:
         if outer_iterations < 1:
             raise ConfigurationError("outer_iterations must be >= 1")
@@ -70,6 +75,7 @@ class AccuCopy(Fuser):
         )
         self._outer_iterations = outer_iterations
         self._tolerance = tolerance
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     def _vote_count(self, accuracy: float) -> float:
         accuracy = min(_ACCURACY_CEIL, max(_ACCURACY_FLOOR, accuracy))
@@ -121,36 +127,44 @@ class AccuCopy(Fuser):
         copy_probability: dict[tuple[str, str], float] = {}
         posteriors: dict[tuple[str, str], float] = {}
         iterations = 0
-        for iterations in range(1, self._outer_iterations + 1):
-            copy_probability = self._detector.detect(
-                claims, truths, accuracy
-            )
-            posteriors = self._discounted_posteriors(
-                claims, accuracy, copy_probability
-            )
-            new_truths: dict[str, str] = {}
-            for item in claims.items():
-                values = claims.values_for(item)
-                new_truths[item] = max(
-                    values, key=lambda v: (posteriors[(item, v)], v)
+        deltas: list[float] = []
+        with self._tracer.span(
+            "fusion.accucopy", outer_iterations=self._outer_iterations
+        ) as span:
+            for iterations in range(1, self._outer_iterations + 1):
+                copy_probability = self._detector.detect(
+                    claims, truths, accuracy
                 )
-            new_accuracy: dict[str, float] = {}
-            for source in sources:
-                source_claims = claims.claims_by(source)
-                mean_posterior = sum(
-                    posteriors[(claim.item_id, claim.value)]
-                    for claim in source_claims
-                ) / len(source_claims)
-                new_accuracy[source] = min(
-                    _ACCURACY_CEIL, max(_ACCURACY_FLOOR, mean_posterior)
+                posteriors = self._discounted_posteriors(
+                    claims, accuracy, copy_probability
                 )
-            accuracy_change = max(
-                abs(new_accuracy[s] - accuracy[s]) for s in sources
-            )
-            stable_truths = new_truths == truths
-            truths, accuracy = new_truths, new_accuracy
-            if stable_truths and accuracy_change < self._tolerance:
-                break
+                new_truths: dict[str, str] = {}
+                for item in claims.items():
+                    values = claims.values_for(item)
+                    new_truths[item] = max(
+                        values, key=lambda v: (posteriors[(item, v)], v)
+                    )
+                new_accuracy: dict[str, float] = {}
+                for source in sources:
+                    source_claims = claims.claims_by(source)
+                    mean_posterior = sum(
+                        posteriors[(claim.item_id, claim.value)]
+                        for claim in source_claims
+                    ) / len(source_claims)
+                    new_accuracy[source] = min(
+                        _ACCURACY_CEIL, max(_ACCURACY_FLOOR, mean_posterior)
+                    )
+                accuracy_change = max(
+                    abs(new_accuracy[s] - accuracy[s]) for s in sources
+                )
+                deltas.append(accuracy_change)
+                stable_truths = new_truths == truths
+                truths, accuracy = new_truths, new_accuracy
+                if stable_truths and accuracy_change < self._tolerance:
+                    break
+            span.set("iterations", iterations)
+            span.set("deltas", [round(delta, 8) for delta in deltas])
+        self._tracer.counter("fusion.accucopy.iterations").inc(iterations)
         confidence = {
             item: posteriors[(item, truths[item])]
             for item in claims.items()

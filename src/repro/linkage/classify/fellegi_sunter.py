@@ -24,6 +24,7 @@ from typing import Sequence
 from repro.core.errors import ConfigurationError, EmptyInputError
 from repro.linkage.classify.threshold import MatchDecision
 from repro.linkage.comparison import ComparisonVector
+from repro.obs import NULL_TRACER
 
 __all__ = ["FellegiSunterModel", "fit_fellegi_sunter"]
 
@@ -116,6 +117,7 @@ def fit_fellegi_sunter(
     max_iterations: int = 100,
     tolerance: float = 1e-6,
     initial_prevalence: float = 0.1,
+    tracer=None,
 ) -> FellegiSunterModel:
     """Fit m/u/prevalence by EM over unlabeled comparison vectors.
 
@@ -123,7 +125,11 @@ def fit_fellegi_sunter(
     count), so fitting is fast even on large candidate sets. Decision
     thresholds are initialized to the weight at posterior 0.5
     (``upper = lower``); callers wanting a review band can widen them.
+
+    ``tracer`` (an :class:`repro.obs.Tracer`, default no-op) records an
+    EM span carrying the per-iteration parameter-change deltas.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     if not vectors:
         raise EmptyInputError("cannot fit Fellegi-Sunter on no vectors")
     n_fields = len(vectors[0].similarities)
@@ -137,56 +143,70 @@ def fit_fellegi_sunter(
     m = [0.9] * n_fields
     u = [0.1] * n_fields
     prevalence = initial_prevalence
+    deltas: list[float] = []
 
-    for __ in range(max_iterations):
-        # E-step: responsibility of the match class for each pattern.
-        responsibilities: dict[tuple[bool, ...], float] = {}
-        for pattern in patterns:
-            likelihood_match = prevalence
-            likelihood_non = 1.0 - prevalence
-            for agrees, m_i, u_i in zip(pattern, m, u):
-                likelihood_match *= m_i if agrees else (1.0 - m_i)
-                likelihood_non *= u_i if agrees else (1.0 - u_i)
-            total = likelihood_match + likelihood_non
-            responsibilities[pattern] = (
-                likelihood_match / total if total > 0 else 0.5
+    with tracer.span(
+        "classify.fellegi_sunter_em",
+        n_vectors=len(vectors),
+        n_patterns=len(patterns),
+        max_iterations=max_iterations,
+    ) as span:
+        for __ in range(max_iterations):
+            # E-step: responsibility of the match class for each pattern.
+            responsibilities: dict[tuple[bool, ...], float] = {}
+            for pattern in patterns:
+                likelihood_match = prevalence
+                likelihood_non = 1.0 - prevalence
+                for agrees, m_i, u_i in zip(pattern, m, u):
+                    likelihood_match *= m_i if agrees else (1.0 - m_i)
+                    likelihood_non *= u_i if agrees else (1.0 - u_i)
+                total = likelihood_match + likelihood_non
+                responsibilities[pattern] = (
+                    likelihood_match / total if total > 0 else 0.5
+                )
+            # M-step.
+            total_pairs = sum(patterns.values())
+            expected_matches = sum(
+                responsibilities[p] * count for p, count in patterns.items()
             )
-        # M-step.
-        total_pairs = sum(patterns.values())
-        expected_matches = sum(
-            responsibilities[p] * count for p, count in patterns.items()
-        )
-        expected_non = total_pairs - expected_matches
-        new_prevalence = _clamp(expected_matches / total_pairs)
-        new_m: list[float] = []
-        new_u: list[float] = []
-        for index in range(n_fields):
-            agree_match = sum(
-                responsibilities[p] * count
-                for p, count in patterns.items()
-                if p[index]
+            expected_non = total_pairs - expected_matches
+            new_prevalence = _clamp(expected_matches / total_pairs)
+            new_m: list[float] = []
+            new_u: list[float] = []
+            for index in range(n_fields):
+                agree_match = sum(
+                    responsibilities[p] * count
+                    for p, count in patterns.items()
+                    if p[index]
+                )
+                agree_non = sum(
+                    (1.0 - responsibilities[p]) * count
+                    for p, count in patterns.items()
+                    if p[index]
+                )
+                new_m.append(
+                    _clamp(agree_match / expected_matches)
+                    if expected_matches > 0
+                    else 0.5
+                )
+                new_u.append(
+                    _clamp(agree_non / expected_non)
+                    if expected_non > 0
+                    else 0.5
+                )
+            delta = (
+                abs(new_prevalence - prevalence)
+                + sum(abs(a - b) for a, b in zip(new_m, m))
+                + sum(abs(a - b) for a, b in zip(new_u, u))
             )
-            agree_non = sum(
-                (1.0 - responsibilities[p]) * count
-                for p, count in patterns.items()
-                if p[index]
-            )
-            new_m.append(
-                _clamp(agree_match / expected_matches)
-                if expected_matches > 0
-                else 0.5
-            )
-            new_u.append(
-                _clamp(agree_non / expected_non) if expected_non > 0 else 0.5
-            )
-        delta = (
-            abs(new_prevalence - prevalence)
-            + sum(abs(a - b) for a, b in zip(new_m, m))
-            + sum(abs(a - b) for a, b in zip(new_u, u))
-        )
-        m, u, prevalence = new_m, new_u, new_prevalence
-        if delta < tolerance:
-            break
+            deltas.append(delta)
+            m, u, prevalence = new_m, new_u, new_prevalence
+            if delta < tolerance:
+                break
+        span.set("iterations", len(deltas))
+        span.set("converged", bool(deltas) and deltas[-1] < tolerance)
+        span.set("deltas", [round(delta, 10) for delta in deltas])
+    tracer.counter("classify.em_iterations").inc(len(deltas))
 
     # EM's two components are label-symmetric; orient so the "match"
     # component is the one agreeing more (standard identifiability fix).

@@ -40,6 +40,7 @@ from repro.linkage.comparison import (
     PreparedRecord,
     RecordComparator,
 )
+from repro.obs import NULL_TRACER, SCORE_BUCKETS
 
 __all__ = [
     "EngineRun",
@@ -105,21 +106,42 @@ def _worker_prepared(record_id: str) -> PreparedRecord:
     return prepared
 
 
-def _score_chunk(pairs: list[IdPair]) -> list[ComparisonVector]:
+def _chunk_cache_stats(pairs: list[IdPair], misses: int) -> dict[str, int]:
+    """Worker-side counter snapshot for one chunk.
+
+    Each pair performs two prepared-cache lookups; every lookup that
+    did not add a cache entry was a hit. These plain dicts are the
+    degenerate form of the obs collection protocol
+    (:meth:`repro.obs.MetricsRegistry.merge_counters`) — the parent
+    folds them into its registry after the chunk result arrives.
+    """
+    return {
+        "engine.prepared_cache_misses": misses,
+        "engine.prepared_cache_hits": 2 * len(pairs) - misses,
+    }
+
+
+def _score_chunk(
+    pairs: list[IdPair],
+) -> tuple[list[ComparisonVector], dict[str, int]]:
     comparator: RecordComparator = _WORKER["comparator"]
-    return [
+    cache_before = len(_WORKER["prepared"])
+    vectors = [
         comparator.compare_prepared(
             _worker_prepared(left), _worker_prepared(right)
         )
         for left, right in pairs
     ]
+    misses = len(_WORKER["prepared"]) - cache_before
+    return vectors, _chunk_cache_stats(pairs, misses)
 
 
 def _match_chunk(
     args: tuple[list[IdPair], float],
-) -> tuple[list[tuple[str, str, float]], int]:
+) -> tuple[list[tuple[str, str, float]], int, dict[str, int]]:
     pairs, threshold = args
     comparator: RecordComparator = _WORKER["comparator"]
+    cache_before = len(_WORKER["prepared"])
     matches: list[tuple[str, str, float]] = []
     n_early = 0
     for left, right in pairs:
@@ -133,7 +155,8 @@ def _match_chunk(
             n_early += 1
         if bounded.is_match:
             matches.append((left, right, bounded.score))
-    return matches, n_early
+    misses = len(_WORKER["prepared"]) - cache_before
+    return matches, n_early, _chunk_cache_stats(pairs, misses)
 
 
 class ParallelComparisonEngine:
@@ -154,6 +177,14 @@ class ParallelComparisonEngine:
     chunk_size:
         Maximum pairs per worker task; the engine shrinks chunks when
         the pair list is small so every worker gets work.
+    tracer:
+        An :class:`repro.obs.Tracer` to record spans and counters into
+        (pairs compared, early exits, prepared-cache hits, matched-score
+        histogram, chunk counts). Defaults to the no-op
+        :data:`repro.obs.NULL_TRACER`, whose overhead is below bench
+        noise. Counters are always touched, so an empty pair list or
+        fewer chunks than workers still yields a well-formed zeroed
+        report.
     """
 
     def __init__(
@@ -162,6 +193,7 @@ class ParallelComparisonEngine:
         execution: ExecutionMode = "serial",
         n_workers: int | None = None,
         chunk_size: int = 2048,
+        tracer=None,
     ) -> None:
         if execution not in ("serial", "process"):
             raise ConfigurationError(f"unknown execution mode {execution!r}")
@@ -173,6 +205,7 @@ class ParallelComparisonEngine:
         self._execution: ExecutionMode = execution
         self._n_workers = n_workers or os.cpu_count() or 1
         self._chunk_size = chunk_size
+        self._tracer = tracer if tracer is not None else NULL_TRACER
 
     @property
     def comparator(self) -> RecordComparator:
@@ -249,22 +282,41 @@ class ParallelComparisonEngine:
         """
         by_id = self._by_id(records)
         valid = self._valid_pairs(by_id, pairs)
-        if not valid:
-            return []
-        if self._execution == "process":
+        tracer = self._tracer
+        with tracer.span(
+            "engine.compare_pairs",
+            execution=self._execution,
+            n_workers=self._n_workers,
+        ) as span:
             vectors: list[ComparisonVector] = []
-            with self._executor(by_id) as executor:
-                for chunk_vectors in executor.map(
-                    _score_chunk, self._chunks(valid)
-                ):
-                    vectors.extend(chunk_vectors)
-            return vectors
-        prepared = self._prepared_lookup(by_id, valid)
-        comparator = self._comparator
-        return [
-            comparator.compare_prepared(prepared[left], prepared[right])
-            for left, right in valid
-        ]
+            cache_hits = cache_misses = n_chunks = 0
+            if valid and self._execution == "process":
+                chunks = self._chunks(valid)
+                n_chunks = len(chunks)
+                with self._executor(by_id) as executor:
+                    for chunk_vectors, stats in executor.map(
+                        _score_chunk, chunks
+                    ):
+                        vectors.extend(chunk_vectors)
+                        cache_hits += stats["engine.prepared_cache_hits"]
+                        cache_misses += stats["engine.prepared_cache_misses"]
+            elif valid:
+                prepared = self._prepared_lookup(by_id, valid)
+                cache_misses = len(prepared)
+                cache_hits = 2 * len(valid) - cache_misses
+                comparator = self._comparator
+                vectors = [
+                    comparator.compare_prepared(
+                        prepared[left], prepared[right]
+                    )
+                    for left, right in valid
+                ]
+            tracer.counter("engine.pairs_total").inc(len(valid))
+            tracer.counter("engine.prepared_cache_hits").inc(cache_hits)
+            tracer.counter("engine.prepared_cache_misses").inc(cache_misses)
+            tracer.counter("engine.chunks").inc(n_chunks)
+            span.set("n_pairs", len(valid))
+        return vectors
 
     def match_pairs(
         self,
@@ -284,79 +336,102 @@ class ParallelComparisonEngine:
         threshold: float | None = None
         if isinstance(classifier, ThresholdClassifier):
             threshold = classifier.match_threshold
+        tracer = self._tracer
         match_pairs: set[frozenset[str]] = set()
         scored_edges: list[tuple[str, str, float]] = []
         n_early = 0
-        if not valid:
-            return EngineRun(
-                match_pairs,
-                scored_edges,
-                0,
-                0,
-                self._execution,
-                self._n_workers,
-            )
-        if self._execution == "process":
-            with self._executor(by_id) as executor:
-                if threshold is not None:
-                    chunk_args = [
-                        (chunk, threshold) for chunk in self._chunks(valid)
-                    ]
-                    for matches, chunk_early in executor.map(
-                        _match_chunk, chunk_args
-                    ):
-                        n_early += chunk_early
-                        for left, right, score in matches:
+        cache_hits = cache_misses = n_chunks = 0
+        with tracer.span(
+            "engine.match_pairs",
+            execution=self._execution,
+            n_workers=self._n_workers,
+        ) as span:
+            started = tracer.time()
+            if valid and self._execution == "process":
+                chunks = self._chunks(valid)
+                n_chunks = len(chunks)
+                with self._executor(by_id) as executor:
+                    if threshold is not None:
+                        chunk_args = [
+                            (chunk, threshold) for chunk in chunks
+                        ]
+                        for matches, chunk_early, stats in executor.map(
+                            _match_chunk, chunk_args
+                        ):
+                            n_early += chunk_early
+                            cache_hits += stats[
+                                "engine.prepared_cache_hits"
+                            ]
+                            cache_misses += stats[
+                                "engine.prepared_cache_misses"
+                            ]
+                            for left, right, score in matches:
+                                match_pairs.add(frozenset((left, right)))
+                                scored_edges.append((left, right, score))
+                    else:
+                        for chunk_vectors, stats in executor.map(
+                            _score_chunk, chunks
+                        ):
+                            cache_hits += stats[
+                                "engine.prepared_cache_hits"
+                            ]
+                            cache_misses += stats[
+                                "engine.prepared_cache_misses"
+                            ]
+                            for vector in chunk_vectors:
+                                if classifier.is_match(vector):
+                                    match_pairs.add(
+                                        frozenset(
+                                            (vector.left_id, vector.right_id)
+                                        )
+                                    )
+                                    scored_edges.append(
+                                        (
+                                            vector.left_id,
+                                            vector.right_id,
+                                            vector.score,
+                                        )
+                                    )
+            elif valid:
+                prepared = self._prepared_lookup(by_id, valid)
+                cache_misses = len(prepared)
+                cache_hits = 2 * len(valid) - cache_misses
+                comparator = self._comparator
+                for left, right in valid:
+                    if threshold is not None:
+                        bounded = comparator.score_bounded(
+                            prepared[left],
+                            prepared[right],
+                            threshold,
+                            exact_scores=True,
+                        )
+                        if not bounded.exact:
+                            n_early += 1
+                        if bounded.is_match:
                             match_pairs.add(frozenset((left, right)))
-                            scored_edges.append((left, right, score))
-                else:
-                    for chunk_vectors in executor.map(
-                        _score_chunk, self._chunks(valid)
-                    ):
-                        for vector in chunk_vectors:
-                            if classifier.is_match(vector):
-                                match_pairs.add(
-                                    frozenset(
-                                        (vector.left_id, vector.right_id)
-                                    )
-                                )
-                                scored_edges.append(
-                                    (
-                                        vector.left_id,
-                                        vector.right_id,
-                                        vector.score,
-                                    )
-                                )
-            return EngineRun(
-                match_pairs,
-                scored_edges,
-                len(valid),
-                n_early,
-                self._execution,
-                self._n_workers,
+                            scored_edges.append(
+                                (left, right, bounded.score)
+                            )
+                    else:
+                        vector = comparator.compare_prepared(
+                            prepared[left], prepared[right]
+                        )
+                        if classifier.is_match(vector):
+                            match_pairs.add(frozenset((left, right)))
+                            scored_edges.append(
+                                (left, right, vector.score)
+                            )
+            elapsed = tracer.time() - started
+            self._record_match_metrics(
+                span,
+                n_pairs=len(valid),
+                scored_edges=scored_edges,
+                n_early=n_early,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                n_chunks=n_chunks,
+                elapsed=elapsed,
             )
-        prepared = self._prepared_lookup(by_id, valid)
-        comparator = self._comparator
-        for left, right in valid:
-            if threshold is not None:
-                bounded = comparator.score_bounded(
-                    prepared[left],
-                    prepared[right],
-                    threshold,
-                    exact_scores=True,
-                )
-                if not bounded.exact:
-                    n_early += 1
-                if bounded.is_match:
-                    match_pairs.add(frozenset((left, right)))
-                    scored_edges.append((left, right, bounded.score))
-            else:
-                vector = comparator.compare_prepared(
-                    prepared[left], prepared[right]
-                )
-                if classifier.is_match(vector):
-                    match_pairs.add(frozenset((left, right)))
-                    scored_edges.append((left, right, vector.score))
         return EngineRun(
             match_pairs,
             scored_edges,
@@ -365,6 +440,42 @@ class ParallelComparisonEngine:
             self._execution,
             self._n_workers,
         )
+
+    def _record_match_metrics(
+        self,
+        span,
+        n_pairs: int,
+        scored_edges: list[tuple[str, str, float]],
+        n_early: int,
+        cache_hits: int,
+        cache_misses: int,
+        n_chunks: int,
+        elapsed: float,
+    ) -> None:
+        """Publish one match pass's counters and span attributes.
+
+        Every counter is touched unconditionally, so empty pair lists
+        and degenerate chunkings still produce zeroed metrics rather
+        than missing keys.
+        """
+        tracer = self._tracer
+        tracer.counter("engine.pairs_total").inc(n_pairs)
+        tracer.counter("engine.pairs_matched").inc(len(scored_edges))
+        tracer.counter("engine.pairs_early_exit").inc(n_early)
+        tracer.counter("engine.prepared_cache_hits").inc(cache_hits)
+        tracer.counter("engine.prepared_cache_misses").inc(cache_misses)
+        tracer.counter("engine.chunks").inc(n_chunks)
+        tracer.histogram("engine.match_score", SCORE_BUCKETS).observe_many(
+            score for __, __, score in scored_edges
+        )
+        span.set("n_pairs", n_pairs)
+        span.set("n_matched", len(scored_edges))
+        span.set("n_early_exit", n_early)
+        span.set("early_exit_rate", round(n_early / n_pairs, 4) if n_pairs else 0.0)
+        if n_chunks:
+            span.set("n_chunks", n_chunks)
+        if elapsed > 0 and n_pairs:
+            span.set("pairs_per_sec", round(n_pairs / elapsed, 1))
 
     def _executor(self, by_id: Mapping[str, Record]) -> ProcessPoolExecutor:
         return ProcessPoolExecutor(

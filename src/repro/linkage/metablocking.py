@@ -27,6 +27,7 @@ from typing import Literal
 
 from repro.core.errors import ConfigurationError
 from repro.linkage.blocking.base import BlockCollection
+from repro.obs import NULL_TRACER, observe_candidate_pruning
 
 __all__ = ["BlockingGraph", "build_blocking_graph", "meta_block"]
 
@@ -154,6 +155,7 @@ def meta_block(
     pruning: PruningScheme = "wep",
     cardinality_ratio: float = 0.05,
     node_degree: int | None = None,
+    tracer=None,
 ) -> set[frozenset[str]]:
     """Prune a block collection down to strong candidate pairs.
 
@@ -171,31 +173,43 @@ def meta_block(
         For CNP: per-node edge budget; defaults to
         ``max(1, round(avg block membership))`` following the original
         heuristic.
+    tracer:
+        An :class:`repro.obs.Tracer` (default no-op) recording a span
+        plus retained/pruned-pair counters.
 
     Returns the retained candidate pairs.
     """
-    graph = build_blocking_graph(blocks, weight=weight)
-    if pruning == "wep":
-        return _prune_wep(graph)
-    if pruning == "cep":
-        if not 0.0 < cardinality_ratio <= 1.0:
-            raise ConfigurationError(
-                "cardinality_ratio must be in (0, 1]"
-            )
-        budget = max(1, math.ceil(graph.n_edges * cardinality_ratio))
-        return _prune_cep(graph, budget)
-    if pruning == "wnp":
-        return _prune_wnp(graph)
-    if pruning == "cnp":
-        if node_degree is None:
-            nodes = graph.nodes()
-            total_memberships = sum(
-                len(blocks.blocks_of(node)) for node in nodes
-            )
-            node_degree = max(
-                1, round(total_memberships / max(1, len(nodes)))
-            )
-        if node_degree < 1:
-            raise ConfigurationError("node_degree must be >= 1")
-        return _prune_cnp(graph, node_degree)
-    raise ConfigurationError(f"unknown pruning scheme {pruning!r}")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span(
+        "metablocking.meta_block", weight=weight, pruning=pruning
+    ) as span:
+        graph = build_blocking_graph(blocks, weight=weight)
+        if pruning == "wep":
+            kept = _prune_wep(graph)
+        elif pruning == "cep":
+            if not 0.0 < cardinality_ratio <= 1.0:
+                raise ConfigurationError(
+                    "cardinality_ratio must be in (0, 1]"
+                )
+            budget = max(1, math.ceil(graph.n_edges * cardinality_ratio))
+            kept = _prune_cep(graph, budget)
+        elif pruning == "wnp":
+            kept = _prune_wnp(graph)
+        elif pruning == "cnp":
+            if node_degree is None:
+                nodes = graph.nodes()
+                total_memberships = sum(
+                    len(blocks.blocks_of(node)) for node in nodes
+                )
+                node_degree = max(
+                    1, round(total_memberships / max(1, len(nodes)))
+                )
+            if node_degree < 1:
+                raise ConfigurationError("node_degree must be >= 1")
+            kept = _prune_cnp(graph, node_degree)
+        else:
+            raise ConfigurationError(f"unknown pruning scheme {pruning!r}")
+        observe_candidate_pruning(tracer, graph.n_edges, len(kept))
+        span.set("n_edges", graph.n_edges)
+        span.set("n_retained", len(kept))
+    return kept

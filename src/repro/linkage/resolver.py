@@ -22,6 +22,7 @@ from repro.linkage.clustering import (
 )
 from repro.linkage.comparison import ComparisonVector, RecordComparator
 from repro.linkage.engine import ExecutionMode, ParallelComparisonEngine
+from repro.obs import NULL_TRACER, observe_block_collection
 
 __all__ = ["MatchClassifier", "LinkageResult", "resolve"]
 
@@ -62,6 +63,7 @@ def resolve(
     candidate_pairs: set[frozenset[str]] | None = None,
     execution: ExecutionMode = "serial",
     n_workers: int | None = None,
+    tracer=None,
 ) -> LinkageResult:
     """Run block → compare → classify → cluster over ``records``.
 
@@ -75,10 +77,21 @@ def resolve(
     scoring, and ``execution="process"`` fans the pair batches out
     over ``n_workers`` OS processes — all with output identical to the
     naive per-pair loop.
+
+    ``tracer`` (an :class:`repro.obs.Tracer`, default no-op) records
+    one span per stage — blocking (block count and size histogram),
+    matching (the engine's own span and counters), clustering — into
+    the run report.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     by_id = {record.record_id: record for record in records}
     if candidate_pairs is None:
-        candidate_pairs = blocker.block(records).candidate_pairs()
+        with tracer.span("linkage.block", blocker=type(blocker).__name__) as span:
+            blocks = blocker.block(records)
+            observe_block_collection(tracer, blocks)
+            candidate_pairs = blocks.candidate_pairs()
+            span.set("n_blocks", len(blocks))
+            span.set("n_candidates", len(candidate_pairs))
     ordered_pairs = [
         (pair_ids[0], pair_ids[1])
         for pair_ids in (
@@ -86,20 +99,22 @@ def resolve(
         )
     ]
     engine = ParallelComparisonEngine(
-        comparator, execution=execution, n_workers=n_workers
+        comparator, execution=execution, n_workers=n_workers, tracer=tracer
     )
     run = engine.match_pairs(by_id, ordered_pairs, classifier)
     match_pairs = run.match_pairs
     scored_edges: list[ScoredEdge] = run.scored_edges
     all_ids = sorted(by_id)
-    if clustering == "components":
-        clusters = connected_components(match_pairs, all_ids)
-    elif clustering == "center":
-        clusters = center_clustering(scored_edges, all_ids)
-    elif clustering == "merge-center":
-        clusters = merge_center_clustering(scored_edges, all_ids)
-    else:
-        raise ConfigurationError(f"unknown clustering {clustering!r}")
+    with tracer.span("linkage.cluster", algorithm=clustering) as span:
+        if clustering == "components":
+            clusters = connected_components(match_pairs, all_ids)
+        elif clustering == "center":
+            clusters = center_clustering(scored_edges, all_ids)
+        elif clustering == "merge-center":
+            clusters = merge_center_clustering(scored_edges, all_ids)
+        else:
+            raise ConfigurationError(f"unknown clustering {clustering!r}")
+        span.set("n_clusters", len(clusters))
     return LinkageResult(
         clusters=clusters,
         match_pairs=match_pairs,

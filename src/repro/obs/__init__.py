@@ -1,0 +1,60 @@
+"""repro.obs — observability: spans, metrics, and run reports.
+
+The instrumentation layer of the integration stack. A
+:class:`Tracer` produces nested, deterministic stage spans (wall time
+through an injectable :class:`Clock`) and owns a
+:class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+histograms; worker processes aggregate back into the parent run via
+the snapshot/merge collection protocol; and a finished run freezes
+into a :class:`RunReport` that renders as a plain-text tree or JSON.
+
+The default everywhere is :data:`NULL_TRACER` — a no-op whose overhead
+on the comparison hot path is held under the E20 bench noise floor —
+so instrumentation is strictly opt-in::
+
+    from repro import BDIPipeline
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    result = BDIPipeline().run(dataset, tracer=tracer)
+    print(tracer.report(name="pipeline").render())
+"""
+
+from repro.obs.clock import Clock, ManualClock, SystemClock
+from repro.obs.instruments import (
+    BLOCK_SIZE_BUCKETS,
+    observe_block_collection,
+    observe_candidate_pruning,
+    observe_text_caches,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    SCORE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import RunReport
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "BLOCK_SIZE_BUCKETS",
+    "Clock",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "ManualClock",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunReport",
+    "SCORE_BUCKETS",
+    "Span",
+    "SystemClock",
+    "Tracer",
+    "observe_block_collection",
+    "observe_candidate_pruning",
+    "observe_text_caches",
+]

@@ -1,0 +1,51 @@
+"""Injectable clocks for deterministic span timing.
+
+Every obs timestamp flows through a :class:`Clock`, so production runs
+get monotonic wall time (:class:`SystemClock`) while tests inject a
+:class:`ManualClock` and assert *exact* durations — no sleeps, no
+tolerance bands.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+__all__ = ["Clock", "ManualClock", "SystemClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything that can produce a monotonic timestamp in seconds."""
+
+    def now(self) -> float: ...
+
+
+class SystemClock:
+    """Monotonic wall time (``time.perf_counter``)."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A deterministic clock for tests.
+
+    ``now()`` returns the current reading and then advances it by
+    ``tick`` — so with the default ``tick=1.0`` the n-th reading is
+    exactly ``start + n``. Set ``tick=0`` and drive time explicitly
+    with :meth:`advance` when a test wants full control.
+    """
+
+    def __init__(self, start: float = 0.0, tick: float = 1.0) -> None:
+        self._current = float(start)
+        self._tick = float(tick)
+
+    def now(self) -> float:
+        reading = self._current
+        self._current += self._tick
+        return reading
+
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward without consuming a reading."""
+        self._current += seconds

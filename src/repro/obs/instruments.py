@@ -1,0 +1,71 @@
+"""Ready-made instrumentation helpers for library data structures.
+
+These keep the wiring in one place: consumers (the resolver, the
+pipeline, the distributed driver) call one function instead of
+re-deriving the same counters and histograms from a
+:class:`~repro.linkage.blocking.base.BlockCollection` or the text-layer
+``lru_cache`` statistics.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BLOCK_SIZE_BUCKETS",
+    "observe_block_collection",
+    "observe_candidate_pruning",
+    "observe_text_caches",
+]
+
+#: Power-of-two-ish block-size buckets; blocks past the last bound land
+#: in the overflow bucket (the oversized blocks blockers cap or split).
+BLOCK_SIZE_BUCKETS: tuple[float, ...] = (
+    2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+)
+
+
+def observe_block_collection(tracer, blocks, prefix: str = "blocking") -> None:
+    """Record a block collection's shape into the tracer's metrics.
+
+    Emits ``{prefix}.blocks_built`` and ``{prefix}.comparisons``
+    counters plus a ``{prefix}.block_size`` histogram — the block-size
+    distribution is the skew signal the load-balancing experiments
+    (and `max_block_size` tuning) turn on.
+    """
+    tracer.counter(f"{prefix}.blocks_built").inc(len(blocks))
+    tracer.counter(f"{prefix}.comparisons").inc(blocks.n_comparisons)
+    histogram = tracer.histogram(
+        f"{prefix}.block_size", BLOCK_SIZE_BUCKETS
+    )
+    histogram.observe_many(float(len(block)) for block in blocks)
+
+
+def observe_candidate_pruning(
+    tracer, n_before: int, n_after: int, prefix: str = "metablocking"
+) -> None:
+    """Record a pruning pass: pairs in, retained, pruned."""
+    tracer.counter(f"{prefix}.pairs_before").inc(n_before)
+    tracer.counter(f"{prefix}.pairs_retained").inc(n_after)
+    tracer.counter(f"{prefix}.pairs_pruned").inc(max(0, n_before - n_after))
+
+
+def observe_text_caches(tracer) -> None:
+    """Publish the text-layer memo-cache statistics as gauges.
+
+    Reads every cache registered in :data:`repro.text.MEMO_CACHES`
+    (the bounded ``lru_cache`` wrappers on the normalize/tokenize hot
+    path) and emits ``text.<name>.cache_{hits,misses,size,maxsize}``
+    plus a derived ``text.<name>.cache_hit_ratio`` gauge.
+    """
+    from repro.text import MEMO_CACHES
+
+    for name, cached_function in MEMO_CACHES.items():
+        info = cached_function.cache_info()
+        base = f"text.{name}"
+        tracer.gauge(f"{base}.cache_hits").set(info.hits)
+        tracer.gauge(f"{base}.cache_misses").set(info.misses)
+        tracer.gauge(f"{base}.cache_size").set(info.currsize)
+        tracer.gauge(f"{base}.cache_maxsize").set(info.maxsize or 0)
+        total = info.hits + info.misses
+        tracer.gauge(f"{base}.cache_hit_ratio").set(
+            info.hits / total if total else 0.0
+        )

@@ -27,9 +27,24 @@ from repro.text.similarity import (
     product_name_similarity,
 )
 from repro.text.tfidf import TfidfModel, soft_tfidf_similarity
-from repro.text.tokens import qgrams, shingles, token_counts, word_tokens
+from repro.text.tokens import (
+    qgrams,
+    shingles,
+    token_counts,
+    word_token_tuple,
+    word_tokens,
+)
+
+#: The text layer's bounded memo caches, by report name. This is the
+#: registry :func:`repro.obs.observe_text_caches` reads to publish
+#: hit/miss gauges; anything added here shows up in run reports.
+MEMO_CACHES = {
+    "normalize_value": normalize_value,
+    "word_tokens": word_token_tuple,
+}
 
 __all__ = [
+    "MEMO_CACHES",
     "Measurement",
     "TfidfModel",
     "canonical_value",

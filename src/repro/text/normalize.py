@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 
 __all__ = [
+    "NORMALIZE_CACHE_MAXSIZE",
     "canonical_value",
     "normalize_attribute_name",
     "normalize_value",
@@ -25,6 +26,13 @@ __all__ = [
     "to_base_unit",
     "UNIT_CONVERSIONS",
 ]
+
+#: Hard bound on the value-normalization memo cache. Long-running
+#: corpora stream unboundedly many distinct values; an unbounded cache
+#: would grow with them, so the memo is explicitly capped (LRU) and its
+#: hit/miss ratio is observable via
+#: :func:`repro.obs.observe_text_caches`.
+NORMALIZE_CACHE_MAXSIZE = 16384
 
 _NON_ALNUM = re.compile(r"[^a-z0-9]+")
 _WHITESPACE = re.compile(r"\s+")
@@ -83,7 +91,7 @@ def normalize_attribute_name(name: str) -> str:
     return _NON_ALNUM.sub(" ", ascii_only.lower()).strip()
 
 
-@lru_cache(maxsize=16384)
+@lru_cache(maxsize=NORMALIZE_CACHE_MAXSIZE)
 def normalize_value(value: str) -> str:
     """Canonicalize an attribute value for *string* comparison.
 

@@ -14,12 +14,24 @@ from collections import Counter
 from functools import lru_cache
 from typing import Iterable
 
-__all__ = ["word_tokens", "word_token_tuple", "qgrams", "shingles", "token_counts"]
+__all__ = [
+    "TOKEN_CACHE_MAXSIZE",
+    "word_tokens",
+    "word_token_tuple",
+    "qgrams",
+    "shingles",
+    "token_counts",
+]
 
 _WORD = re.compile(r"[a-z0-9]+")
 
+#: Hard bound on the tokenization memo cache — capped for the same
+#: reason as :data:`repro.text.normalize.NORMALIZE_CACHE_MAXSIZE`, and
+#: likewise observable via :func:`repro.obs.observe_text_caches`.
+TOKEN_CACHE_MAXSIZE = 16384
 
-@lru_cache(maxsize=16384)
+
+@lru_cache(maxsize=TOKEN_CACHE_MAXSIZE)
 def word_token_tuple(text: str) -> tuple[str, ...]:
     """Memoized, immutable variant of :func:`word_tokens`.
 

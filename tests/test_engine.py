@@ -260,6 +260,35 @@ class TestProcessBackend:
         with pytest.raises(ConfigurationError):
             PipelineConfig(execution="threads")
 
+    def test_serial_and_process_counters_identical(self, corpus):
+        from repro.obs import Tracer
+
+        records, by_id, pairs = corpus
+        comparator = default_product_comparator()
+        classifier = ThresholdClassifier(0.72)
+        subset = pairs[:300]
+        counters = {}
+        for mode, n_workers in (("serial", None), ("process", 2)):
+            tracer = Tracer()
+            engine = ParallelComparisonEngine(
+                comparator,
+                execution=mode,
+                n_workers=n_workers,
+                tracer=tracer,
+            )
+            engine.match_pairs(by_id, subset, classifier)
+            counters[mode] = tracer.metrics.snapshot()["counters"]
+        # Comparison outcomes must not depend on the backend; only the
+        # per-worker prepared caches may legitimately differ.
+        for name in (
+            "engine.pairs_total",
+            "engine.pairs_matched",
+            "engine.pairs_early_exit",
+        ):
+            assert counters["serial"][name] == counters["process"][name]
+        assert counters["serial"]["engine.pairs_total"] == len(subset)
+        assert counters["serial"]["engine.pairs_early_exit"] > 0
+
     def test_match_pairs_skips_unknown_ids(self, corpus):
         records, by_id, __ = corpus
         engine = ParallelComparisonEngine(default_product_comparator())
