@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.core.dataset import Dataset
 from repro.core.errors import ConfigurationError, GroundTruthError
+from repro.resilience import ResilienceConfig
 
 __all__ = ["PipelineConfig", "PipelineResult", "PipelineReport", "BDIPipeline"]
 
@@ -35,7 +36,12 @@ class PipelineConfig:
     string voting. ``execution`` selects the pair-comparison backend
     (``"serial"`` or ``"process"``, see :mod:`repro.linkage.engine`)
     with ``n_workers`` processes when multiprocess; match output is
-    identical either way.
+    identical either way. ``resilience`` (a
+    :class:`repro.resilience.ResilienceConfig`, default off) makes the
+    linkage stage fault-tolerant: failed comparison chunks are retried
+    with backoff and, under ``failure="skip"``, quarantined into
+    :attr:`PipelineResult.dead_letters` while the pipeline completes
+    on the surviving pairs.
     """
 
     schema_threshold: float = 0.6
@@ -49,6 +55,7 @@ class PipelineConfig:
     numeric_fusion: bool = False
     execution: str = "serial"
     n_workers: int | None = None
+    resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
         if self.fusion not in {"vote", "truthfinder", "accuvote", "accucopy"}:
@@ -63,6 +70,12 @@ class PipelineConfig:
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceConfig
+        ):
+            raise ConfigurationError(
+                "resilience must be a ResilienceConfig or None"
+            )
 
 
 @dataclass
@@ -71,7 +84,10 @@ class PipelineResult:
 
     ``clusters`` is the final record clustering (similarity linkage
     plus identifier joins); ``linkage`` holds the similarity-only
-    result for inspection.
+    result for inspection. ``dead_letters`` carries the quarantined
+    comparison work when the run was configured with a
+    :class:`repro.resilience.ResilienceConfig` (``None`` otherwise) —
+    a run that survived worker failures still produces every artifact.
     """
 
     schema: "object"
@@ -80,6 +96,7 @@ class PipelineResult:
     fusion: "object"
     clusters: list[list[str]] = field(default_factory=list)
     entity_table: dict[str, dict[str, str]] = field(default_factory=dict)
+    dead_letters: "object | None" = None
 
 
 @dataclass(frozen=True)
@@ -172,6 +189,7 @@ class BDIPipeline:
                         execution=config.execution,  # type: ignore[arg-type]
                         n_workers=config.n_workers,
                         tracer=tracer,
+                        resilience=config.resilience,
                     )
                     vectors = pair_engine.compare_pairs(
                         records,
@@ -199,10 +217,13 @@ class BDIPipeline:
                     execution=config.execution,  # type: ignore[arg-type]
                     n_workers=config.n_workers,
                     tracer=tracer,
+                    resilience=config.resilience,
                 )
                 clusters = linkage.clusters
                 span.set("n_candidates", linkage.n_candidates)
                 span.set("n_similarity_clusters", len(clusters))
+                if config.resilience is not None:
+                    span.set("n_quarantined", linkage.n_quarantined)
                 if config.use_identifier_linkage:
                     with tracer.span("pipeline.identifier_linkage") as id_span:
                         profiles = profile_attributes(dataset)
@@ -293,6 +314,7 @@ class BDIPipeline:
             fusion=fusion,
             clusters=clusters,
             entity_table=entity_table,
+            dead_letters=linkage.dead_letters,
         )
 
     def run_instrumented(

@@ -14,6 +14,8 @@ from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
 
 from repro.core.errors import ConfigurationError
 from repro.obs import NULL_TRACER
+from repro.resilience import ResilienceConfig
+from repro.resilience.executor import ResilientChunkExecutor
 
 __all__ = ["MapReduceJob", "JobResult", "ReducerMetrics", "hash_partitioner"]
 
@@ -50,11 +52,19 @@ class ReducerMetrics:
 
 @dataclass(frozen=True)
 class JobResult(Generic[O]):
-    """Outputs plus the metrics the cost model consumes."""
+    """Outputs plus the metrics the cost model consumes.
+
+    ``dead_letters``/``n_quarantined_keys`` report reduce keys the
+    fault-tolerance layer quarantined (populated only when the job was
+    built with a :class:`~repro.resilience.ResilienceConfig` and
+    ``failure="skip"``); their outputs are absent from ``outputs``.
+    """
 
     outputs: list[O]
     reducer_metrics: tuple[ReducerMetrics, ...]
     n_map_outputs: int
+    dead_letters: "object | None" = None
+    n_quarantined_keys: int = 0
 
     @property
     def total_cost(self) -> float:
@@ -102,6 +112,12 @@ class MapReduceJob(Generic[I, K, V, O]):
         parent run's registry as a reducer-cost histogram and a skew
         gauge (the single-process analogue of the worker collection
         protocol).
+    resilience:
+        A :class:`~repro.resilience.ResilienceConfig` (default off)
+        applying the retry/backoff/quarantine policy per reduce key: a
+        reduce call that keeps raising is retried, then — under
+        ``failure="skip"`` — its key is quarantined into the result's
+        dead-letter log while every other key's outputs survive.
     """
 
     def __init__(
@@ -112,15 +128,23 @@ class MapReduceJob(Generic[I, K, V, O]):
         partitioner: Partitioner | None = None,
         cost_function: CostFunction | None = None,
         tracer=None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if n_reducers < 1:
             raise ConfigurationError("n_reducers must be >= 1")
+        if resilience is not None and not isinstance(
+            resilience, ResilienceConfig
+        ):
+            raise ConfigurationError(
+                "resilience must be a ResilienceConfig or None"
+            )
         self._map = map_function
         self._reduce = reduce_function
         self._n_reducers = n_reducers
         self._partitioner = partitioner or hash_partitioner
         self._cost = cost_function or (lambda key, values: float(len(values)))
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._resilience = resilience
 
     @property
     def n_reducers(self) -> int:
@@ -149,8 +173,11 @@ class MapReduceJob(Generic[I, K, V, O]):
                     n_map_outputs += 1
             # Reduce, metering per-reducer work. Keys are sorted so output
             # order is deterministic regardless of dict insertion order.
+            # Cost is metered whether or not a key's reduce succeeds —
+            # the cluster pays for attempted work either way.
             outputs: list[O] = []
             metrics: list[ReducerMetrics] = []
+            units: list[tuple[int, K]] = []
             for reducer_index, partition in enumerate(partitions):
                 cost = 0.0
                 n_values = 0
@@ -158,7 +185,10 @@ class MapReduceJob(Generic[I, K, V, O]):
                     values = partition[key]
                     n_values += len(values)
                     cost += self._cost(key, values)
-                    outputs.extend(self._reduce(key, values))
+                    if self._resilience is None:
+                        outputs.extend(self._reduce(key, values))
+                    else:
+                        units.append((reducer_index, key))
                 metrics.append(
                     ReducerMetrics(
                         reducer=reducer_index,
@@ -167,13 +197,49 @@ class MapReduceJob(Generic[I, K, V, O]):
                         cost=cost,
                     )
                 )
+            dead_letters = None
+            n_quarantined = 0
+            if self._resilience is not None:
+                outputs, dead_letters, n_quarantined = (
+                    self._reduce_resilient(partitions, units)
+                )
             result = JobResult(
                 outputs=outputs,
                 reducer_metrics=tuple(metrics),
                 n_map_outputs=n_map_outputs,
+                dead_letters=dead_letters,
+                n_quarantined_keys=n_quarantined,
             )
             self._record_metrics(span, inputs, result)
+            if self._resilience is not None:
+                span.set("n_quarantined_keys", n_quarantined)
         return result
+
+    def _reduce_resilient(
+        self, partitions: list[dict[K, list[V]]], units: list[tuple[int, K]]
+    ) -> tuple[list[O], "object", int]:
+        """Run every (reducer, key) unit through the resilient loop.
+
+        Each reduce key is one recovery unit: retried per the policy,
+        and quarantined (``failure="skip"``) or raised
+        (``"retry"``/``"fail"``) when it keeps failing. Output order
+        matches the non-resilient path exactly.
+        """
+        executor = ResilientChunkExecutor(
+            self._resilience, tracer=self._tracer, scope="mapreduce.key"
+        )
+
+        def run_attempt(items: list, timeout) -> list[O]:
+            reducer_index, key = items[0]
+            return list(self._reduce(key, partitions[reducer_index][key]))
+
+        outcome = executor.run([[unit] for unit in units], run_attempt)
+        outputs = [
+            output for __, value in outcome.results for output in value
+        ]
+        n_quarantined = len(outcome.quarantined_items)
+        self._tracer.counter("mapreduce.keys_quarantined").inc(n_quarantined)
+        return outputs, outcome.dead_letters, n_quarantined
 
     def _record_metrics(
         self, span, inputs: Sequence[I], result: JobResult[O]

@@ -64,6 +64,10 @@ class DistributedRun:
     cost: PartitionCost
     n_comparisons: int
     n_unique_comparisons: int = 0
+    dead_letters: "object | None" = None
+    quarantined_pairs: tuple = ()
+    completed_chunks: int = 0
+    n_chunks: int = 0
 
 
 def run_distributed_linkage(
@@ -78,6 +82,7 @@ def run_distributed_linkage(
     n_workers: int | None = None,
     memoize: bool = True,
     tracer=None,
+    resilience=None,
 ) -> DistributedRun:
     """Execute distributed matching and return pairs plus cluster cost.
 
@@ -95,6 +100,13 @@ def run_distributed_linkage(
     span per run with per-reducer comparison counts, plus counters
     surfacing the raw/deduplicated comparison split — memoization hits
     are ``dist.comparisons_raw - dist.comparisons_unique``.
+
+    ``resilience`` (a :class:`repro.resilience.ResilienceConfig`,
+    default off) threads the fault-tolerance layer through the engine:
+    the returned :class:`DistributedRun` then reports
+    ``completed_chunks``/``n_chunks`` and carries the quarantined
+    pairs and dead-letter log — a run with failed workers degrades to
+    partial results instead of aborting.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     cost_model = cost_model or ClusterCostModel()
@@ -130,7 +142,7 @@ def run_distributed_linkage(
                 unique_pairs.append(pair)
         engine = ParallelComparisonEngine(
             comparator, execution=execution, n_workers=n_workers,
-            tracer=tracer,
+            tracer=tracer, resilience=resilience,
         )
         scored = unique_pairs if memoize else raw_pairs
         run = engine.match_pairs(by_id, scored, classifier)
@@ -143,10 +155,16 @@ def run_distributed_linkage(
         span.set("n_comparisons", len(raw_pairs))
         span.set("n_unique_comparisons", len(unique_pairs))
         span.set("makespan", cost.makespan)
+        if resilience is not None:
+            span.set("n_quarantined", len(run.quarantined_pairs))
     return DistributedRun(
         strategy=strategy,
         match_pairs=run.match_pairs,
         cost=cost,
         n_comparisons=len(raw_pairs),
         n_unique_comparisons=len(unique_pairs),
+        dead_letters=run.dead_letters if resilience is not None else None,
+        quarantined_pairs=run.quarantined_pairs,
+        completed_chunks=run.completed_chunks,
+        n_chunks=run.n_chunks,
     )

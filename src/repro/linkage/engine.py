@@ -29,8 +29,10 @@ from __future__ import annotations
 import math
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Iterable, Literal, Mapping, Sequence
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Literal, Mapping, Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.core.record import Record
@@ -41,6 +43,13 @@ from repro.linkage.comparison import (
     RecordComparator,
 )
 from repro.obs import NULL_TRACER, SCORE_BUCKETS
+from repro.resilience import (
+    ChunkResultInvalid,
+    ChunkTimeoutError,
+    DeadLetterLog,
+    ResilienceConfig,
+)
+from repro.resilience.executor import ResilientChunkExecutor
 
 __all__ = [
     "EngineRun",
@@ -72,6 +81,13 @@ class EngineRun:
     comparison. ``n_early_exit`` counts pairs the staged scorer
     decided without evaluating every field (0 for non-threshold
     classifiers, which always score fully).
+
+    The last four fields carry the run's fault-tolerance outcome (only
+    populated when the engine was built with a
+    :class:`~repro.resilience.ResilienceConfig`): the dead-letter log
+    of quarantined work, the quarantined pairs themselves, and the
+    ``completed_chunks``/``n_chunks`` split — partial-result semantics
+    for runs that survived worker failures.
     """
 
     match_pairs: set[frozenset[str]]
@@ -80,6 +96,10 @@ class EngineRun:
     n_early_exit: int
     execution: str
     n_workers: int
+    dead_letters: DeadLetterLog = field(default_factory=DeadLetterLog)
+    quarantined_pairs: tuple[IdPair, ...] = ()
+    completed_chunks: int = 0
+    n_chunks: int = 0
 
 
 # --- worker-side state for the process backend -----------------------
@@ -159,6 +179,79 @@ def _match_chunk(
     return matches, n_early, _chunk_cache_stats(pairs, misses)
 
 
+# --- chunk-result validation (garbage detection) ---------------------
+#
+# The resilient executor runs these after every chunk attempt; a result
+# whose shape is wrong — a worker that OOMed mid-pickle, a fault
+# injector returning garbage — becomes a retryable failure instead of
+# a crash (or worse, silent corruption) further downstream.
+
+
+def _validate_score_result(pairs: list[IdPair], value) -> None:
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 2
+        or not isinstance(value[0], list)
+        or len(value[0]) != len(pairs)
+        or not isinstance(value[1], dict)
+    ):
+        raise ChunkResultInvalid(
+            f"score chunk of {len(pairs)} pairs returned {value!r:.80}"
+        )
+
+
+def _validate_match_result(pairs: list[IdPair], value) -> None:
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 3
+        or not isinstance(value[0], list)
+        or len(value[0]) > len(pairs)
+        or not isinstance(value[1], int)
+        or not isinstance(value[2], dict)
+    ):
+        raise ChunkResultInvalid(
+            f"match chunk of {len(pairs)} pairs returned {value!r:.80}"
+        )
+
+
+class _PoolRunner:
+    """Submits chunks to a worker pool with timeout and self-healing.
+
+    A timed-out future cannot reclaim its worker and a crashed worker
+    breaks the whole pool, so on either event the pool is torn down and
+    lazily rebuilt for the next attempt — the retried chunk lands on
+    fresh workers.
+    """
+
+    def __init__(self, make_pool: Callable[[], ProcessPoolExecutor]) -> None:
+        self._make_pool = make_pool
+        self._pool: ProcessPoolExecutor | None = None
+
+    def submit(self, fn, arg, timeout: float | None):
+        if self._pool is None:
+            self._pool = self._make_pool()
+        future = self._pool.submit(fn, arg)
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeout:
+            future.cancel()
+            self._recycle()
+            raise ChunkTimeoutError(timeout) from None
+        except BrokenProcessPool:
+            self._recycle()
+            raise
+
+    def _recycle(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
 class ParallelComparisonEngine:
     """Executes pair comparisons with prepared records, early exit, and
     an optional multiprocess backend.
@@ -185,6 +278,16 @@ class ParallelComparisonEngine:
         noise. Counters are always touched, so an empty pair list or
         fewer chunks than workers still yields a well-formed zeroed
         report.
+    resilience:
+        A :class:`~repro.resilience.ResilienceConfig` to survive worker
+        failures: crashed, hung, or garbage-returning chunks are
+        retried with backoff, bisected down to the poison pair, and —
+        under ``failure="skip"`` — quarantined into a
+        :class:`~repro.resilience.DeadLetterLog` carried on the
+        :class:`EngineRun`, rather than aborting the run. ``None``
+        (the default) keeps the zero-overhead fail-fast path; serial
+        execution is then also chunked so both backends recover
+        identically.
     """
 
     def __init__(
@@ -194,6 +297,7 @@ class ParallelComparisonEngine:
         n_workers: int | None = None,
         chunk_size: int = 2048,
         tracer=None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         if execution not in ("serial", "process"):
             raise ConfigurationError(f"unknown execution mode {execution!r}")
@@ -201,11 +305,19 @@ class ParallelComparisonEngine:
             raise ConfigurationError("n_workers must be >= 1")
         if chunk_size < 1:
             raise ConfigurationError("chunk_size must be >= 1")
+        if resilience is not None and not isinstance(
+            resilience, ResilienceConfig
+        ):
+            raise ConfigurationError(
+                "resilience must be a ResilienceConfig or None"
+            )
         self._comparator = comparator
         self._execution: ExecutionMode = execution
         self._n_workers = n_workers or os.cpu_count() or 1
         self._chunk_size = chunk_size
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._resilience = resilience
+        self._last_dead_letters: DeadLetterLog | None = None
 
     @property
     def comparator(self) -> RecordComparator:
@@ -221,6 +333,21 @@ class ParallelComparisonEngine:
     def n_workers(self) -> int:
         """Worker-process count used by the process backend."""
         return self._n_workers
+
+    @property
+    def resilience(self) -> ResilienceConfig | None:
+        """The fault-tolerance configuration, if any."""
+        return self._resilience
+
+    @property
+    def dead_letters(self) -> DeadLetterLog | None:
+        """Quarantined work from the most recent call, if resilient.
+
+        :meth:`match_pairs` also carries this on the returned
+        :class:`EngineRun`; this property is how
+        :meth:`compare_pairs` callers reach it.
+        """
+        return self._last_dead_letters
 
     # --- helpers -----------------------------------------------------
 
@@ -282,6 +409,8 @@ class ParallelComparisonEngine:
         """
         by_id = self._by_id(records)
         valid = self._valid_pairs(by_id, pairs)
+        if self._resilience is not None:
+            return self._compare_pairs_resilient(by_id, valid)
         tracer = self._tracer
         with tracer.span(
             "engine.compare_pairs",
@@ -293,13 +422,15 @@ class ParallelComparisonEngine:
             if valid and self._execution == "process":
                 chunks = self._chunks(valid)
                 n_chunks = len(chunks)
+                heartbeat = tracer.gauge("engine.chunks_done")
                 with self._executor(by_id) as executor:
-                    for chunk_vectors, stats in executor.map(
-                        _score_chunk, chunks
+                    for done, (chunk_vectors, stats) in enumerate(
+                        executor.map(_score_chunk, chunks), start=1
                     ):
                         vectors.extend(chunk_vectors)
                         cache_hits += stats["engine.prepared_cache_hits"]
                         cache_misses += stats["engine.prepared_cache_misses"]
+                        heartbeat.set(done)
             elif valid:
                 prepared = self._prepared_lookup(by_id, valid)
                 cache_misses = len(prepared)
@@ -336,6 +467,10 @@ class ParallelComparisonEngine:
         threshold: float | None = None
         if isinstance(classifier, ThresholdClassifier):
             threshold = classifier.match_threshold
+        if self._resilience is not None:
+            return self._match_pairs_resilient(
+                by_id, valid, classifier, threshold
+            )
         tracer = self._tracer
         match_pairs: set[frozenset[str]] = set()
         scored_edges: list[tuple[str, str, float]] = []
@@ -350,13 +485,14 @@ class ParallelComparisonEngine:
             if valid and self._execution == "process":
                 chunks = self._chunks(valid)
                 n_chunks = len(chunks)
+                heartbeat = tracer.gauge("engine.chunks_done")
                 with self._executor(by_id) as executor:
                     if threshold is not None:
                         chunk_args = [
                             (chunk, threshold) for chunk in chunks
                         ]
-                        for matches, chunk_early, stats in executor.map(
-                            _match_chunk, chunk_args
+                        for done, (matches, chunk_early, stats) in enumerate(
+                            executor.map(_match_chunk, chunk_args), start=1
                         ):
                             n_early += chunk_early
                             cache_hits += stats[
@@ -365,12 +501,13 @@ class ParallelComparisonEngine:
                             cache_misses += stats[
                                 "engine.prepared_cache_misses"
                             ]
+                            heartbeat.set(done)
                             for left, right, score in matches:
                                 match_pairs.add(frozenset((left, right)))
                                 scored_edges.append((left, right, score))
                     else:
-                        for chunk_vectors, stats in executor.map(
-                            _score_chunk, chunks
+                        for done, (chunk_vectors, stats) in enumerate(
+                            executor.map(_score_chunk, chunks), start=1
                         ):
                             cache_hits += stats[
                                 "engine.prepared_cache_hits"
@@ -378,6 +515,7 @@ class ParallelComparisonEngine:
                             cache_misses += stats[
                                 "engine.prepared_cache_misses"
                             ]
+                            heartbeat.set(done)
                             for vector in chunk_vectors:
                                 if classifier.is_match(vector):
                                     match_pairs.add(
@@ -439,6 +577,211 @@ class ParallelComparisonEngine:
             n_early,
             self._execution,
             self._n_workers,
+        )
+
+    # --- resilient execution -----------------------------------------
+    #
+    # With a ResilienceConfig, both backends run through the shared
+    # retry → bisect → quarantine loop: serial execution is chunked
+    # exactly like the process backend (same _chunks), so a given
+    # fault pattern recovers identically under either mode.
+
+    def _serial_prepared(self, by_id: Mapping[str, Record]):
+        """A lazily-filled prepared cache shared across chunk retries."""
+        prepared: dict[str, PreparedRecord] = {}
+        comparator = self._comparator
+
+        def prepared_for(record_id: str) -> PreparedRecord:
+            entry = prepared.get(record_id)
+            if entry is None:
+                entry = comparator.prepare(by_id[record_id])
+                prepared[record_id] = entry
+            return entry
+
+        return prepared, prepared_for
+
+    def _score_runner(self, by_id: Mapping[str, Record]):
+        """``(run_attempt, close)`` for full-vector chunk scoring."""
+        if self._execution == "process":
+            pool = _PoolRunner(lambda: self._executor(by_id))
+            return (
+                lambda pairs, timeout: pool.submit(
+                    _score_chunk, pairs, timeout
+                ),
+                pool.close,
+            )
+        prepared, prepared_for = self._serial_prepared(by_id)
+        comparator = self._comparator
+
+        def run(pairs: list[IdPair], timeout):
+            before = len(prepared)
+            vectors = [
+                comparator.compare_prepared(
+                    prepared_for(left), prepared_for(right)
+                )
+                for left, right in pairs
+            ]
+            return vectors, _chunk_cache_stats(
+                pairs, len(prepared) - before
+            )
+
+        return run, lambda: None
+
+    def _match_runner(self, by_id: Mapping[str, Record], threshold: float):
+        """``(run_attempt, close)`` for staged threshold matching."""
+        if self._execution == "process":
+            pool = _PoolRunner(lambda: self._executor(by_id))
+            return (
+                lambda pairs, timeout: pool.submit(
+                    _match_chunk, (pairs, threshold), timeout
+                ),
+                pool.close,
+            )
+        prepared, prepared_for = self._serial_prepared(by_id)
+        comparator = self._comparator
+
+        def run(pairs: list[IdPair], timeout):
+            before = len(prepared)
+            matches: list[tuple[str, str, float]] = []
+            n_early = 0
+            for left, right in pairs:
+                bounded = comparator.score_bounded(
+                    prepared_for(left),
+                    prepared_for(right),
+                    threshold,
+                    exact_scores=True,
+                )
+                if not bounded.exact:
+                    n_early += 1
+                if bounded.is_match:
+                    matches.append((left, right, bounded.score))
+            return matches, n_early, _chunk_cache_stats(
+                pairs, len(prepared) - before
+            )
+
+        return run, lambda: None
+
+    def _compare_pairs_resilient(
+        self, by_id: Mapping[str, Record], valid: list[IdPair]
+    ) -> list[ComparisonVector]:
+        tracer = self._tracer
+        with tracer.span(
+            "engine.compare_pairs",
+            execution=self._execution,
+            n_workers=self._n_workers,
+            resilient=True,
+        ) as span:
+            chunks = self._chunks(valid) if valid else []
+            run_attempt, close = self._score_runner(by_id)
+            executor = ResilientChunkExecutor(
+                self._resilience, tracer=tracer, scope="engine.chunk"
+            )
+            try:
+                outcome = executor.run(
+                    chunks, run_attempt, _validate_score_result
+                )
+            finally:
+                close()
+            vectors: list[ComparisonVector] = []
+            cache_hits = cache_misses = 0
+            for __, value in outcome.results:
+                chunk_vectors, stats = value
+                vectors.extend(chunk_vectors)
+                cache_hits += stats["engine.prepared_cache_hits"]
+                cache_misses += stats["engine.prepared_cache_misses"]
+            self._last_dead_letters = outcome.dead_letters
+            tracer.counter("engine.pairs_total").inc(len(valid))
+            tracer.counter("engine.prepared_cache_hits").inc(cache_hits)
+            tracer.counter("engine.prepared_cache_misses").inc(cache_misses)
+            tracer.counter("engine.chunks").inc(len(chunks))
+            span.set("n_pairs", len(valid))
+            span.set("n_quarantined", len(outcome.quarantined_items))
+        return vectors
+
+    def _match_pairs_resilient(
+        self,
+        by_id: Mapping[str, Record],
+        valid: list[IdPair],
+        classifier,
+        threshold: float | None,
+    ) -> EngineRun:
+        tracer = self._tracer
+        match_pairs: set[frozenset[str]] = set()
+        scored_edges: list[tuple[str, str, float]] = []
+        n_early = 0
+        cache_hits = cache_misses = 0
+        with tracer.span(
+            "engine.match_pairs",
+            execution=self._execution,
+            n_workers=self._n_workers,
+            resilient=True,
+        ) as span:
+            started = tracer.time()
+            chunks = self._chunks(valid) if valid else []
+            if threshold is not None:
+                run_attempt, close = self._match_runner(by_id, threshold)
+                validate = _validate_match_result
+            else:
+                run_attempt, close = self._score_runner(by_id)
+                validate = _validate_score_result
+            executor = ResilientChunkExecutor(
+                self._resilience, tracer=tracer, scope="engine.chunk"
+            )
+            try:
+                outcome = executor.run(chunks, run_attempt, validate)
+            finally:
+                close()
+            for __, value in outcome.results:
+                if threshold is not None:
+                    matches, chunk_early, stats = value
+                    n_early += chunk_early
+                    for left, right, score in matches:
+                        match_pairs.add(frozenset((left, right)))
+                        scored_edges.append((left, right, score))
+                else:
+                    chunk_vectors, stats = value
+                    for vector in chunk_vectors:
+                        if classifier.is_match(vector):
+                            match_pairs.add(
+                                frozenset(
+                                    (vector.left_id, vector.right_id)
+                                )
+                            )
+                            scored_edges.append(
+                                (
+                                    vector.left_id,
+                                    vector.right_id,
+                                    vector.score,
+                                )
+                            )
+                cache_hits += stats["engine.prepared_cache_hits"]
+                cache_misses += stats["engine.prepared_cache_misses"]
+            elapsed = tracer.time() - started
+            self._record_match_metrics(
+                span,
+                n_pairs=len(valid),
+                scored_edges=scored_edges,
+                n_early=n_early,
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
+                n_chunks=len(chunks),
+                elapsed=elapsed,
+            )
+            quarantined = tuple(outcome.quarantined_items)
+            self._last_dead_letters = outcome.dead_letters
+            span.set("n_quarantined", len(quarantined))
+            span.set("completed_chunks", outcome.completed_chunks)
+        return EngineRun(
+            match_pairs,
+            scored_edges,
+            len(valid),
+            n_early,
+            self._execution,
+            self._n_workers,
+            dead_letters=outcome.dead_letters,
+            quarantined_pairs=quarantined,
+            completed_chunks=outcome.completed_chunks,
+            n_chunks=outcome.n_chunks,
         )
 
     def _record_match_metrics(

@@ -47,11 +47,18 @@ class LinkageResult:
     match_pairs: set[frozenset[str]]
     n_candidates: int
     scored_edges: list[ScoredEdge] = field(default_factory=list)
+    dead_letters: "object | None" = None
+    quarantined_pairs: tuple = ()
 
     @property
     def n_clusters(self) -> int:
         """Number of clusters (entities found)."""
         return len(self.clusters)
+
+    @property
+    def n_quarantined(self) -> int:
+        """Pairs quarantined by the fault-tolerance layer (0 when off)."""
+        return len(self.quarantined_pairs)
 
 
 def resolve(
@@ -64,6 +71,7 @@ def resolve(
     execution: ExecutionMode = "serial",
     n_workers: int | None = None,
     tracer=None,
+    resilience=None,
 ) -> LinkageResult:
     """Run block → compare → classify → cluster over ``records``.
 
@@ -82,6 +90,12 @@ def resolve(
     one span per stage — blocking (block count and size histogram),
     matching (the engine's own span and counters), clustering — into
     the run report.
+
+    ``resilience`` (a :class:`repro.resilience.ResilienceConfig`,
+    default off) makes comparison fault-tolerant: failed chunks are
+    retried with backoff and, under ``failure="skip"``, persistent
+    failures are quarantined into the result's ``dead_letters`` while
+    linkage completes over the surviving pairs.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     by_id = {record.record_id: record for record in records}
@@ -99,7 +113,11 @@ def resolve(
         )
     ]
     engine = ParallelComparisonEngine(
-        comparator, execution=execution, n_workers=n_workers, tracer=tracer
+        comparator,
+        execution=execution,
+        n_workers=n_workers,
+        tracer=tracer,
+        resilience=resilience,
     )
     run = engine.match_pairs(by_id, ordered_pairs, classifier)
     match_pairs = run.match_pairs
@@ -120,4 +138,6 @@ def resolve(
         match_pairs=match_pairs,
         n_candidates=len(candidate_pairs),
         scored_edges=scored_edges,
+        dead_letters=run.dead_letters if resilience is not None else None,
+        quarantined_pairs=run.quarantined_pairs,
     )

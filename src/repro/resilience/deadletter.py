@@ -1,0 +1,150 @@
+"""The dead-letter log: quarantined work, preserved not lost.
+
+Under ``FailurePolicy="skip"`` a unit of work that keeps failing after
+retries and bisection is *quarantined*: pulled out of the run and
+appended here with everything needed to triage it later — which chunk,
+what kind of failure, how many attempts, the offending items, and when.
+A run that quarantined work still completes and still produces a
+well-formed :class:`~repro.obs.report.RunReport`; the log rides on the
+run result (:class:`~repro.linkage.engine.EngineRun`,
+:class:`~repro.dist.parallel_linkage.DistributedRun`) and round-trips
+through JSON so CI can ship it as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = ["DeadLetterEntry", "DeadLetterLog"]
+
+
+def _jsonable(value):
+    """Best-effort JSON form: tuples become lists, opaque values repr."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def _tupled(value):
+    """Inverse of :func:`_jsonable` for the list/tuple case."""
+    if isinstance(value, list):
+        return tuple(_tupled(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class DeadLetterEntry:
+    """One quarantined unit of work.
+
+    ``scope`` names the execution layer (``"engine.chunk"``,
+    ``"mapreduce.key"``); ``chunk_id`` is the bisection path of the
+    failing chunk (``"3"``, ``"3.1.0"``); ``kind`` is the failure class
+    (``"crash"``, ``"timeout"``, ``"garbage"``, ``"deadline"``);
+    ``items`` holds the quarantined work itself (id pairs for the
+    engine, reduce keys for MapReduce); ``quarantined_at`` is the clock
+    reading when the entry was written.
+    """
+
+    scope: str
+    chunk_id: str
+    kind: str
+    error_type: str
+    error: str
+    attempts: int
+    items: tuple
+    quarantined_at: float
+
+    def to_dict(self) -> dict:
+        return {
+            "scope": self.scope,
+            "chunk_id": self.chunk_id,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "error": self.error,
+            "attempts": self.attempts,
+            "items": _jsonable(list(self.items)),
+            "quarantined_at": self.quarantined_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DeadLetterEntry":
+        return cls(
+            scope=data["scope"],
+            chunk_id=data["chunk_id"],
+            kind=data["kind"],
+            error_type=data["error_type"],
+            error=data["error"],
+            attempts=data["attempts"],
+            items=tuple(_tupled(item) for item in data["items"]),
+            quarantined_at=data["quarantined_at"],
+        )
+
+
+class DeadLetterLog:
+    """An append-only list of :class:`DeadLetterEntry`.
+
+    Merges across workers and runs like the obs collection protocol
+    (:meth:`merge`), and serializes losslessly for JSON-able items
+    (:meth:`to_json` / :meth:`from_json`).
+    """
+
+    def __init__(self, entries: Iterable[DeadLetterEntry] = ()) -> None:
+        self._entries: list[DeadLetterEntry] = list(entries)
+
+    def add(self, entry: DeadLetterEntry) -> None:
+        self._entries.append(entry)
+
+    def merge(self, other: "DeadLetterLog") -> None:
+        """Append every entry of ``other`` (in order)."""
+        self._entries.extend(other._entries)
+
+    @property
+    def entries(self) -> tuple[DeadLetterEntry, ...]:
+        return tuple(self._entries)
+
+    def quarantined_items(self) -> tuple:
+        """Every quarantined item across all entries, in order."""
+        return tuple(
+            item for entry in self._entries for item in entry.items
+        )
+
+    def by_kind(self, kind: str) -> tuple[DeadLetterEntry, ...]:
+        """Entries whose failure class is ``kind``."""
+        return tuple(e for e in self._entries if e.kind == kind)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DeadLetterEntry]:
+        return iter(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DeadLetterLog):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        return f"DeadLetterLog({len(self._entries)} entries)"
+
+    # --- serialization -----------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        return [entry.to_dict() for entry in self._entries]
+
+    @classmethod
+    def from_dicts(cls, data: Iterable[dict]) -> "DeadLetterLog":
+        return cls(DeadLetterEntry.from_dict(item) for item in data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dicts(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeadLetterLog":
+        return cls.from_dicts(json.loads(text))

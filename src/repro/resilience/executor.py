@@ -1,0 +1,332 @@
+"""The resilient chunk executor: retry → bisect → quarantine.
+
+This is the recovery loop every fault-tolerant execution path shares.
+Work arrives as an ordered list of chunks (lists of items — id pairs
+for the comparison engine, reduce keys for MapReduce) plus a
+``run_attempt(items, timeout)`` callable supplied by the caller (a
+direct call for serial execution, a pool submission with a real future
+timeout for the process backend). The executor then guarantees:
+
+1. **Retry with backoff** — a crashed, timed-out, or garbage-returning
+   attempt is retried up to ``RetryPolicy.max_attempts`` times, sleeping
+   the policy's exponential-backoff schedule between attempts (through
+   the injectable clock/sleep, so tests assert exact timings).
+2. **Bisection** — a chunk that exhausts its attempts is split in half
+   and each half gets a fresh attempt budget, recursively, isolating
+   the *poison item* from its innocent neighbours in O(log n) rounds.
+3. **Graceful degradation** — what happens to the isolated failure is
+   the :data:`~repro.resilience.policy.FailurePolicy`'s call: ``"fail"``
+   aborts on first failure, ``"retry"`` raises
+   :class:`~repro.resilience.policy.PoisonPairError` after exhaustion,
+   ``"skip"`` quarantines into the
+   :class:`~repro.resilience.deadletter.DeadLetterLog` and the run
+   completes with partial results.
+
+Every attempt, retry, failure, bisection, and quarantine emits
+``resilience.*`` counters, and a heartbeat gauge pair
+(``resilience.heartbeat_chunk`` / ``resilience.heartbeat_time``) is
+written *before* each attempt blocks — so a hung worker is visible in
+the :class:`~repro.obs.report.RunReport` as a heartbeat frozen at the
+stalled chunk.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.obs import NULL_TRACER
+from repro.obs.clock import SystemClock
+from repro.resilience.deadletter import DeadLetterEntry, DeadLetterLog
+from repro.resilience.policy import (
+    ChunkExecutionError,
+    ChunkResultInvalid,
+    ChunkTimeoutError,
+    DeadlineExceededError,
+    InjectedHang,
+    PoisonPairError,
+    ResilienceConfig,
+)
+
+__all__ = ["ResilientChunkExecutor", "ResilientOutcome"]
+
+RunAttempt = Callable[[list, "float | None"], object]
+Validator = Callable[[list, object], None]
+
+
+@dataclass
+class ResilientOutcome:
+    """What one resilient pass produced.
+
+    ``results`` lists ``(items, value)`` units in input order; after
+    bisection one input chunk may contribute several units, and
+    quarantined items contribute none. ``completed_chunks`` counts
+    top-level chunks whose every item succeeded.
+    """
+
+    results: list[tuple[list, object]] = field(default_factory=list)
+    dead_letters: DeadLetterLog = field(default_factory=DeadLetterLog)
+    n_chunks: int = 0
+    completed_chunks: int = 0
+    n_attempts: int = 0
+    n_retries: int = 0
+    n_bisections: int = 0
+
+    @property
+    def quarantined_items(self) -> tuple:
+        return self.dead_letters.quarantined_items()
+
+
+class _Failure:
+    """The classified outcome of an exhausted attempt loop."""
+
+    __slots__ = ("kind", "error", "attempts")
+
+    def __init__(self, kind: str, error: BaseException, attempts: int):
+        self.kind = kind
+        self.error = error
+        self.attempts = attempts
+
+
+class ResilientChunkExecutor:
+    """Runs chunked work under a :class:`ResilienceConfig`.
+
+    Parameters
+    ----------
+    config:
+        Retry policy, failure policy, timeout/deadline, injectable
+        clock/sleep, and the optional fault injector.
+    tracer:
+        An :class:`repro.obs.Tracer` for the ``resilience.*`` counters,
+        heartbeat gauges, and the per-run span. Defaults to the no-op.
+    scope:
+        Names the execution layer in dead-letter entries and span
+        attributes (``"engine.chunk"``, ``"mapreduce.key"``).
+    """
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        tracer=None,
+        scope: str = "engine.chunk",
+    ) -> None:
+        self._config = config
+        self._clock = config.clock or SystemClock()
+        self._sleep = config.sleep or time.sleep
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._scope = scope
+
+    def run(
+        self,
+        chunks: Sequence[list],
+        run_attempt: RunAttempt,
+        validate: Validator | None = None,
+    ) -> ResilientOutcome:
+        """Execute every chunk, recovering per the configured policy.
+
+        ``validate(items, value)`` (optional) must raise
+        :class:`ChunkResultInvalid` when a result's shape is wrong —
+        the garbage-detection hook that turns silent corruption into a
+        retryable failure.
+        """
+        tracer = self._tracer
+        outcome = ResilientOutcome(n_chunks=len(chunks))
+        started = self._clock.now()
+        deadline_at = (
+            started + self._config.deadline
+            if self._config.deadline is not None
+            else None
+        )
+        with tracer.span(
+            "resilience.execute",
+            scope=self._scope,
+            failure_policy=self._config.failure,
+            n_chunks=len(chunks),
+        ) as span:
+            for index, chunk in enumerate(chunks):
+                fully_ok = self._recover(
+                    str(index),
+                    index,
+                    list(chunk),
+                    run_attempt,
+                    validate,
+                    deadline_at,
+                    outcome,
+                )
+                if fully_ok:
+                    outcome.completed_chunks += 1
+                tracer.gauge("resilience.chunks_done").set(index + 1)
+            self._publish(span, outcome)
+        return outcome
+
+    # --- recovery ----------------------------------------------------
+
+    def _recover(
+        self,
+        chunk_id: str,
+        top_index: int,
+        items: list,
+        run_attempt: RunAttempt,
+        validate: Validator | None,
+        deadline_at: float | None,
+        outcome: ResilientOutcome,
+    ) -> bool:
+        """Run one (sub-)chunk to success, bisection, or quarantine."""
+        config = self._config
+        if deadline_at is not None and self._clock.now() >= deadline_at:
+            return self._expire(chunk_id, items, deadline_at, outcome)
+        value, failure = self._attempt_loop(
+            chunk_id, top_index, items, run_attempt, validate, outcome
+        )
+        if failure is None:
+            outcome.results.append((items, value))
+            return True
+        if config.failure == "fail":
+            raise ChunkExecutionError(
+                chunk_id,
+                failure.kind,
+                failure.attempts,
+                tuple(items),
+                failure.error,
+            )
+        if len(items) > 1:
+            outcome.n_bisections += 1
+            self._tracer.counter("resilience.bisections").inc()
+            mid = len(items) // 2
+            left_ok = self._recover(
+                chunk_id + ".0", top_index, items[:mid],
+                run_attempt, validate, deadline_at, outcome,
+            )
+            right_ok = self._recover(
+                chunk_id + ".1", top_index, items[mid:],
+                run_attempt, validate, deadline_at, outcome,
+            )
+            return left_ok and right_ok
+        if config.failure == "skip":
+            self._quarantine(chunk_id, failure, items, outcome)
+            return False
+        raise PoisonPairError(
+            chunk_id,
+            failure.kind,
+            failure.attempts,
+            items[0],
+            failure.error,
+        )
+
+    def _attempt_loop(
+        self,
+        chunk_id: str,
+        top_index: int,
+        items: list,
+        run_attempt: RunAttempt,
+        validate: Validator | None,
+        outcome: ResilientOutcome,
+    ) -> tuple[object, _Failure | None]:
+        """Try one chunk up to the policy's attempt budget."""
+        config = self._config
+        tracer = self._tracer
+        injector = config.fault_injector
+        max_attempts = (
+            1 if config.failure == "fail" else config.retry.max_attempts
+        )
+        failure: _Failure | None = None
+        for attempt in range(1, max_attempts + 1):
+            # Heartbeat first, so a stall leaves the last dispatched
+            # chunk/attempt/timestamp visible in the run report.
+            tracer.gauge("resilience.heartbeat_chunk").set(top_index)
+            tracer.gauge("resilience.heartbeat_attempt").set(attempt)
+            tracer.gauge("resilience.heartbeat_time").set(self._clock.now())
+            outcome.n_attempts += 1
+            tracer.counter("resilience.attempts").inc()
+            try:
+                if injector is not None:
+                    injector.on_attempt(top_index, items, attempt)
+                value = run_attempt(list(items), config.timeout)
+                if injector is not None:
+                    value = injector.on_result(
+                        top_index, items, attempt, value
+                    )
+                if validate is not None:
+                    validate(items, value)
+                return value, None
+            except InjectedHang as error:
+                # Simulate waiting out the full per-attempt timeout.
+                if config.timeout is not None:
+                    self._sleep(config.timeout)
+                failure = _Failure("timeout", error, attempt)
+            except ChunkTimeoutError as error:
+                failure = _Failure("timeout", error, attempt)
+            except ChunkResultInvalid as error:
+                failure = _Failure("garbage", error, attempt)
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:  # noqa: BLE001 — any worker crash
+                failure = _Failure("crash", error, attempt)
+            tracer.counter("resilience.failures").inc()
+            tracer.counter(f"resilience.failures_{failure.kind}").inc()
+            if attempt < max_attempts:
+                delay = config.retry.delay(attempt, salt=chunk_id)
+                tracer.counter("resilience.backoff_seconds").inc(delay)
+                self._sleep(delay)
+                tracer.counter("resilience.retries").inc()
+                outcome.n_retries += 1
+        return None, failure
+
+    def _expire(
+        self,
+        chunk_id: str,
+        items: list,
+        deadline_at: float,
+        outcome: ResilientOutcome,
+    ) -> bool:
+        """Handle a chunk reached after the run deadline passed."""
+        started = deadline_at - self._config.deadline
+        elapsed = self._clock.now() - started
+        if self._config.failure == "skip":
+            error = DeadlineExceededError(self._config.deadline, elapsed)
+            self._quarantine(
+                chunk_id, _Failure("deadline", error, 0), items, outcome
+            )
+            return False
+        raise DeadlineExceededError(self._config.deadline, elapsed)
+
+    def _quarantine(
+        self,
+        chunk_id: str,
+        failure: _Failure,
+        items: list,
+        outcome: ResilientOutcome,
+    ) -> None:
+        entry = DeadLetterEntry(
+            scope=self._scope,
+            chunk_id=chunk_id,
+            kind=failure.kind,
+            error_type=type(failure.error).__name__,
+            error=str(failure.error),
+            attempts=failure.attempts,
+            items=tuple(items),
+            quarantined_at=self._clock.now(),
+        )
+        outcome.dead_letters.add(entry)
+        self._tracer.counter("resilience.quarantined_items").inc(len(items))
+        self._tracer.counter("resilience.quarantined_entries").inc()
+
+    def _publish(self, span, outcome: ResilientOutcome) -> None:
+        """Touch every counter and stamp the span (zeroed when clean)."""
+        tracer = self._tracer
+        for name in (
+            "resilience.attempts",
+            "resilience.retries",
+            "resilience.failures",
+            "resilience.bisections",
+            "resilience.quarantined_items",
+            "resilience.quarantined_entries",
+            "resilience.backoff_seconds",
+        ):
+            tracer.counter(name).inc(0)
+        span.set("completed_chunks", outcome.completed_chunks)
+        span.set("n_attempts", outcome.n_attempts)
+        span.set("n_retries", outcome.n_retries)
+        span.set("n_bisections", outcome.n_bisections)
+        span.set("n_quarantined", len(outcome.quarantined_items))

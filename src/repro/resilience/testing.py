@@ -1,0 +1,209 @@
+"""Deterministic chaos: the fault-injection harness.
+
+A :class:`FaultInjector` is the test double the resilient executor
+consults around every chunk attempt. It is configured with declarative
+:class:`FaultSpec` rules — *make chunk N crash on attempt K*, *hang any
+chunk containing this pair*, *return garbage once* — and fires them
+with no randomness whatsoever: the same workload plus the same specs
+produces the same faults, attempt for attempt. Pair it with a
+:class:`~repro.obs.clock.ManualClock` (and ``sleep=clock.advance``) in
+the :class:`~repro.resilience.policy.ResilienceConfig` and the entire
+failure→backoff→recovery timeline becomes exactly assertable.
+
+Fault kinds
+-----------
+
+- ``"crash"``   — raises :class:`~repro.resilience.policy.InjectedCrash`
+  before the attempt dispatches (stands in for a dead worker process).
+- ``"hang"``    — raises :class:`~repro.resilience.policy.InjectedHang`;
+  the executor charges the attempt its full timeout on the injected
+  clock and records a timeout failure (a worker that never answers).
+- ``"garbage"`` — replaces the attempt's result with ``payload``
+  (default ``None``), exercising result-shape validation (a corrupted
+  response).
+
+Targeting composes: ``chunk`` matches the top-level chunk index,
+``item`` matches any chunk *containing* that item (which is how a
+poison pair keeps failing through bisection until it is isolated), and
+``attempts`` limits firing to specific 1-based attempt numbers (omit it
+for a persistent fault, ``attempts=1`` for a transient one).
+
+This module ships with the library — not just its test suite — so
+downstream users can chaos-test their own deployments the same way::
+
+    from repro.obs import ManualClock
+    from repro.resilience import ResilienceConfig, RetryPolicy
+    from repro.resilience.testing import FaultInjector, crash
+
+    clock = ManualClock(tick=0.0)
+    config = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=3, base_delay=1.0),
+        failure="retry",
+        clock=clock,
+        sleep=clock.advance,
+        fault_injector=FaultInjector(crash(chunk=0, attempts=1)),
+    )
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.resilience.policy import InjectedCrash, InjectedHang
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSpec",
+    "crash",
+    "garbage",
+    "hang",
+]
+
+FAULT_KINDS: tuple[str, ...] = ("crash", "hang", "garbage")
+
+
+def _normalize_attempts(attempts) -> frozenset | None:
+    if attempts is None:
+        return None
+    if isinstance(attempts, int):
+        return frozenset((attempts,))
+    return frozenset(attempts)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault rule.
+
+    ``chunk`` / ``item`` / ``attempts`` are conjunctive filters; a
+    ``None`` filter matches everything. ``max_fires`` caps how many
+    times the rule fires in total (``None`` = unlimited). ``payload``
+    is the garbage value substituted for ``kind="garbage"``.
+    """
+
+    kind: str
+    chunk: int | None = None
+    item: object | None = None
+    attempts: object = None
+    max_fires: int | None = None
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {FAULT_KINDS}"
+            )
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ConfigurationError("max_fires must be >= 1")
+        object.__setattr__(
+            self, "attempts", _normalize_attempts(self.attempts)
+        )
+
+    def matches(self, chunk_index: int, items: list, attempt: int) -> bool:
+        if self.chunk is not None and self.chunk != chunk_index:
+            return False
+        if self.item is not None and self.item not in items:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        return True
+
+
+def crash(
+    chunk: int | None = None,
+    item: object | None = None,
+    attempts=None,
+    max_fires: int | None = None,
+) -> FaultSpec:
+    """A crash rule (see :class:`FaultSpec` for targeting)."""
+    return FaultSpec("crash", chunk, item, attempts, max_fires)
+
+
+def hang(
+    chunk: int | None = None,
+    item: object | None = None,
+    attempts=None,
+    max_fires: int | None = None,
+) -> FaultSpec:
+    """A hang rule: the attempt burns its full timeout, then fails."""
+    return FaultSpec("hang", chunk, item, attempts, max_fires)
+
+
+def garbage(
+    chunk: int | None = None,
+    item: object | None = None,
+    attempts=None,
+    max_fires: int | None = None,
+    payload: object = None,
+) -> FaultSpec:
+    """A garbage rule: the attempt's result is replaced by ``payload``."""
+    return FaultSpec("garbage", chunk, item, attempts, max_fires, payload)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired (the injector's audit trail)."""
+
+    kind: str
+    chunk: int
+    attempt: int
+    n_items: int
+
+
+class FaultInjector:
+    """The executor-facing hook that fires :class:`FaultSpec` rules.
+
+    The executor calls :meth:`on_attempt` before dispatching a chunk
+    attempt (crash/hang rules fire here) and :meth:`on_result` after a
+    successful attempt (garbage rules fire here). Every firing is
+    appended to :attr:`history` so tests can assert exactly which
+    faults the run absorbed.
+    """
+
+    def __init__(self, *specs: FaultSpec) -> None:
+        self._specs: list[list] = [[spec, 0] for spec in specs]
+        self.history: list[FaultEvent] = []
+
+    def _fire(self, kinds, chunk_index, items, attempt) -> FaultSpec | None:
+        for slot in self._specs:
+            spec, fired = slot
+            if spec.kind not in kinds:
+                continue
+            if spec.max_fires is not None and fired >= spec.max_fires:
+                continue
+            if spec.matches(chunk_index, list(items), attempt):
+                slot[1] = fired + 1
+                self.history.append(
+                    FaultEvent(spec.kind, chunk_index, attempt, len(items))
+                )
+                return spec
+        return None
+
+    def on_attempt(self, chunk_index: int, items, attempt: int) -> None:
+        """Raise the configured crash/hang for this attempt, if any."""
+        spec = self._fire(("crash", "hang"), chunk_index, items, attempt)
+        if spec is None:
+            return
+        if spec.kind == "crash":
+            raise InjectedCrash(
+                f"injected crash: chunk {chunk_index} attempt {attempt}"
+            )
+        raise InjectedHang(
+            f"injected hang: chunk {chunk_index} attempt {attempt}"
+        )
+
+    def on_result(self, chunk_index: int, items, attempt: int, value):
+        """Substitute garbage for this attempt's result, if configured."""
+        spec = self._fire(("garbage",), chunk_index, items, attempt)
+        if spec is None:
+            return value
+        return spec.payload
+
+    def fired(self, kind: str | None = None) -> int:
+        """How many faults fired (optionally of one kind)."""
+        if kind is None:
+            return len(self.history)
+        return sum(1 for event in self.history if event.kind == kind)

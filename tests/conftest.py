@@ -1,0 +1,79 @@
+"""Shared test fixtures: deterministic clocks and fault injection.
+
+The resilience layer keeps every timing decision behind an injectable
+clock/sleep pair, so these fixtures are all a test needs to make an
+entire failure→backoff→recovery timeline exact: ``manual_clock()``
+builds a :class:`~repro.obs.clock.ManualClock` (tick=0 by default —
+time moves only when the code under test sleeps), and
+``fault_injector()`` builds a
+:class:`~repro.resilience.testing.FaultInjector` from declarative
+fault specs.
+
+The ``slow`` marker (registered in pyproject.toml) tags tests that
+spin up real worker processes; CI runs the full suite on pushes and
+``-m "not slow"`` on pull requests.
+"""
+
+import pytest
+
+from repro.obs import ManualClock
+from repro.resilience import ResilienceConfig, RetryPolicy
+from repro.resilience.testing import FaultInjector
+
+
+@pytest.fixture
+def manual_clock():
+    """Factory for deterministic clocks: ``manual_clock(start, tick)``."""
+
+    def make(start: float = 0.0, tick: float = 0.0) -> ManualClock:
+        return ManualClock(start=start, tick=tick)
+
+    return make
+
+
+@pytest.fixture
+def fault_injector():
+    """Factory for fault injectors: ``fault_injector(*specs)``."""
+
+    def make(*specs) -> FaultInjector:
+        return FaultInjector(*specs)
+
+    return make
+
+
+@pytest.fixture
+def resilience_config(manual_clock):
+    """Factory for a fully deterministic :class:`ResilienceConfig`.
+
+    Builds a config wired to a fresh ``ManualClock`` with
+    ``sleep=clock.advance`` so backoff consumes simulated time only;
+    the clock is exposed as ``config.clock`` for assertions.
+    """
+
+    def make(
+        failure: str = "retry",
+        max_attempts: int = 3,
+        base_delay: float = 1.0,
+        multiplier: float = 2.0,
+        timeout=None,
+        deadline=None,
+        injector=None,
+        jitter: float = 0.0,
+    ) -> ResilienceConfig:
+        clock = manual_clock()
+        return ResilienceConfig(
+            retry=RetryPolicy(
+                max_attempts=max_attempts,
+                base_delay=base_delay,
+                multiplier=multiplier,
+                jitter=jitter,
+            ),
+            failure=failure,
+            timeout=timeout,
+            deadline=deadline,
+            clock=clock,
+            sleep=clock.advance,
+            fault_injector=injector,
+        )
+
+    return make

@@ -218,6 +218,7 @@ class TestScoreBounded:
 
 
 class TestProcessBackend:
+    @pytest.mark.slow
     def test_vectors_identical_serial_vs_process(self, corpus):
         records, by_id, pairs = corpus
         comparator = default_product_comparator()
@@ -230,6 +231,7 @@ class TestProcessBackend:
             by_id, subset
         )
 
+    @pytest.mark.slow
     def test_resolve_identical_clusters(self, corpus):
         records, __, __ = corpus
         comparator = default_product_comparator()
@@ -260,6 +262,7 @@ class TestProcessBackend:
         with pytest.raises(ConfigurationError):
             PipelineConfig(execution="threads")
 
+    @pytest.mark.slow
     def test_serial_and_process_counters_identical(self, corpus):
         from repro.obs import Tracer
 
@@ -357,6 +360,7 @@ class TestDistributedMemoization:
             == runs[2].match_pairs
         )
 
+    @pytest.mark.slow
     def test_process_execution_matches_serial(self, overlapping):
         records, blocks = overlapping
         comparator = default_product_comparator()

@@ -309,6 +309,7 @@ class TestEngineEdgeCases:
         assert counters["engine.pairs_total"] == 0
         assert counters["engine.chunks"] == 0
 
+    @pytest.mark.slow
     def test_fewer_pairs_than_workers(self, dataset):
         records = list(dataset.records())[:4]
         by_id = {record.record_id: record for record in records}

@@ -224,3 +224,111 @@ class TestClusteringInvariants:
         quality = bcubed_quality(truth.true_clusters(), truth)
         assert quality.precision == pytest.approx(1.0)
         assert quality.recall == pytest.approx(1.0)
+
+
+# --- fault-tolerance invariants --------------------------------------
+
+
+@st.composite
+def fault_plans(draw):
+    """Records, their pair list, and an arbitrary fault pattern:
+    up to 3 persistent poison pairs plus transient chunk crashes."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    records = [
+        Record(
+            f"r{index}",
+            f"s{index % 2}",
+            {"name": draw(short_word), "color": draw(short_word)},
+        )
+        for index in range(n)
+    ]
+    ids = [record.record_id for record in records]
+    pairs = [
+        (ids[i], ids[j])
+        for i in range(len(ids))
+        for j in range(i + 1, len(ids))
+    ]
+    n_chunks = math.ceil(len(pairs) / 4)
+    poison = draw(
+        st.lists(
+            st.sampled_from(pairs), unique=True, min_size=0, max_size=3
+        )
+    )
+    transient = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_chunks - 1),
+            unique=True,
+            max_size=3,
+        )
+    )
+    return records, pairs, poison, transient
+
+
+class TestResilienceInvariants:
+    """For *any* fault pattern, a ``failure="skip"`` run must degrade
+    gracefully: quarantined and processed work partition the input,
+    and no match appears that the fault-free run would not produce."""
+
+    @staticmethod
+    def _config(poison, transient):
+        from repro.obs import ManualClock
+        from repro.resilience import ResilienceConfig, RetryPolicy
+        from repro.resilience.testing import FaultInjector, crash
+
+        clock = ManualClock(tick=0.0)
+        specs = [crash(item=pair) for pair in poison]
+        specs += [crash(chunk=index, attempts=1) for index in transient]
+        return ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay=1.0),
+            failure="skip",
+            clock=clock,
+            sleep=clock.advance,
+            fault_injector=FaultInjector(*specs),
+        )
+
+    @staticmethod
+    def _engine(resilience=None):
+        from repro.linkage import (
+            FieldComparator,
+            ParallelComparisonEngine,
+            RecordComparator,
+        )
+        from repro.text import exact_similarity
+
+        comparator = RecordComparator(
+            fields=[
+                FieldComparator("name", exact_similarity, weight=2.0),
+                FieldComparator("color", exact_similarity),
+            ]
+        )
+        return ParallelComparisonEngine(
+            comparator, n_workers=1, chunk_size=4, resilience=resilience
+        )
+
+    @given(plan=fault_plans())
+    @settings(max_examples=25, deadline=None)
+    def test_processed_and_quarantined_partition_pairs(self, plan):
+        records, pairs, poison, transient = plan
+        engine = self._engine(self._config(poison, transient))
+        vectors = engine.compare_pairs(records, pairs)
+        processed = [(v.left_id, v.right_id) for v in vectors]
+        quarantined = engine.dead_letters.quarantined_items()
+        assert set(processed) | set(quarantined) == set(pairs)
+        assert set(processed) & set(quarantined) == set()
+        assert len(processed) + len(quarantined) == len(pairs)
+        assert set(quarantined) == set(poison)
+
+    @given(plan=fault_plans())
+    @settings(max_examples=25, deadline=None)
+    def test_skip_matches_subset_of_fault_free_matches(self, plan):
+        from repro.linkage import ThresholdClassifier
+
+        records, pairs, poison, transient = plan
+        classifier = ThresholdClassifier(0.9)
+        clean = self._engine().match_pairs(records, pairs, classifier)
+        run = self._engine(self._config(poison, transient)).match_pairs(
+            records, pairs, classifier
+        )
+        assert run.match_pairs <= clean.match_pairs
+        missing = clean.match_pairs - run.match_pairs
+        assert missing <= {frozenset(pair) for pair in poison}
