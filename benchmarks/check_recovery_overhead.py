@@ -1,0 +1,181 @@
+"""Gate: checkpointing costs nothing when off, under 10% when on.
+
+The recovery layer (`repro.recovery`) threads an optional checkpoint
+store through the comparison engine's chunk loop. Two promises guard
+the E20 hot path (`BENCH_engine.json`):
+
+1. **Disabled is free.** With ``checkpoint=None`` the engine takes the
+   exact pre-recovery code path, so the early-exit speedup over naive
+   scoring must stay where the baseline recorded it. As in
+   ``check_obs_overhead.py``, the gate compares the machine-independent
+   *ratio*, not absolute pairs/sec, and passes while the measured
+   speedup stays above half the recorded one.
+2. **Enabled is cheap.** With a live ``RunStore`` the engine routes
+   through the chunked executor and durably pickles each completed
+   chunk; best-of-N wall time may cost at most 10% (plus a small noise
+   allowance) over the identical run without a store.
+
+Both gates assert output equality along the way — a checkpointed run
+that got faster by computing something else would be a bug, not a win.
+
+Run:  PYTHONPATH=src python benchmarks/check_recovery_overhead.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_e20_engine import THRESHOLD, _corpus_pairs
+
+from repro.linkage import (
+    ParallelComparisonEngine,
+    ThresholdClassifier,
+    default_product_comparator,
+)
+from repro.recovery import RunStore
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _engine(checkpoint=None):
+    return ParallelComparisonEngine(
+        default_product_comparator(), checkpoint=checkpoint
+    )
+
+
+def measure_disabled_speedup(by_id, pairs, repeats: int) -> dict:
+    """Early-exit (checkpoint=None) vs naive, best-of-N."""
+    comparator = default_product_comparator()
+    classifier = ThresholdClassifier(THRESHOLD)
+
+    naive_best = float("inf")
+    for __ in range(repeats):
+        start = time.perf_counter()
+        naive_matches = {
+            frozenset(pair)
+            for pair in pairs
+            if comparator.compare(by_id[pair[0]], by_id[pair[1]]).score
+            >= THRESHOLD
+        }
+        naive_best = min(naive_best, time.perf_counter() - start)
+
+    plain_best = float("inf")
+    for __ in range(repeats):
+        engine = _engine()
+        start = time.perf_counter()
+        run = engine.match_pairs(by_id, pairs, classifier)
+        plain_best = min(plain_best, time.perf_counter() - start)
+    if run.match_pairs != naive_matches:
+        raise SystemExit("engine disagrees with naive on match pairs")
+
+    return {
+        "naive_best": naive_best,
+        "plain_best": plain_best,
+        "measured_speedup": round(naive_best / plain_best, 2),
+    }
+
+
+def measure_enabled_overhead(by_id, pairs, repeats: int) -> dict:
+    """Checkpointed vs plain wall time, best-of-N, fresh store each run."""
+    classifier = ThresholdClassifier(THRESHOLD)
+
+    plain_best = float("inf")
+    for __ in range(repeats):
+        engine = _engine()
+        start = time.perf_counter()
+        plain = engine.match_pairs(by_id, pairs, classifier)
+        plain_best = min(plain_best, time.perf_counter() - start)
+
+    enabled_best = float("inf")
+    for __ in range(repeats):
+        with tempfile.TemporaryDirectory() as root:
+            engine = _engine(checkpoint=RunStore(root))
+            start = time.perf_counter()
+            checkpointed = engine.match_pairs(by_id, pairs, classifier)
+            enabled_best = min(enabled_best, time.perf_counter() - start)
+    if checkpointed.match_pairs != plain.match_pairs:
+        raise SystemExit("checkpointed run changed the match pairs")
+    if checkpointed.scored_edges != plain.scored_edges:
+        raise SystemExit("checkpointed run changed the scored edges")
+
+    return {
+        "plain_best": plain_best,
+        "enabled_best": enabled_best,
+        "overhead": round(enabled_best / plain_best - 1.0, 4),
+    }
+
+
+def baseline_speedup(path: Path = BASELINE_PATH) -> float:
+    payload = json.loads(path.read_text())
+    by_mode = {row["mode"]: row for row in payload["modes"]}
+    return by_mode["early-exit"]["speedup_vs_naive"]
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus (CI smoke); both gates are corpus-robust",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.5,
+        help="disabled speedup must exceed this fraction of the baseline",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.10,
+        help="enabled overhead budget from the issue (fraction)",
+    )
+    parser.add_argument(
+        "--noise-allowance",
+        type=float,
+        default=0.05,
+        help="extra fraction tolerated for machine noise on tiny runs",
+    )
+    args = parser.parse_args(argv)
+
+    n_entities, n_sources = (20, 6) if args.quick else (60, 12)
+    __, by_id, pairs = _corpus_pairs(n_entities, n_sources)
+
+    disabled = measure_disabled_speedup(by_id, pairs, args.repeats)
+    recorded = baseline_speedup()
+    floor = args.min_ratio * recorded
+    print("Recovery overhead gate")
+    print(f"  corpus:              {n_entities} entities x {n_sources}"
+          f" sources -> {len(pairs)} pairs")
+    print(f"  [disabled] speedup:  {disabled['measured_speedup']}x"
+          f" (baseline {recorded}x, required > {floor:.2f}x)")
+    if disabled["measured_speedup"] <= floor:
+        raise SystemExit(
+            f"disabled-path regression: measured speedup "
+            f"{disabled['measured_speedup']}x <= {floor:.2f}x"
+        )
+
+    enabled = measure_enabled_overhead(by_id, pairs, args.repeats)
+    budget = args.max_overhead + args.noise_allowance
+    print(f"  [enabled]  overhead: {enabled['overhead'] * 100:.1f}%"
+          f" (budget {args.max_overhead * 100:.0f}%"
+          f" + {args.noise_allowance * 100:.0f}% noise)")
+    if enabled["overhead"] > budget:
+        raise SystemExit(
+            f"checkpointing overhead {enabled['overhead'] * 100:.1f}% "
+            f"exceeds {budget * 100:.0f}% budget"
+        )
+    print("  OK: disabled within noise, enabled within the 10% budget")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,171 @@
+"""Crash-recovery walkthrough: kill a real run, resume it, lose nothing.
+
+A long integration run dies for boring reasons — OOM killer, deploy
+restart, spot-instance reclaim — and without checkpointing the only
+remedy is recomputing from scratch. This example murders a real
+pipeline run and brings it back:
+
+1. A sacrificial subprocess runs ``BDIPipeline.run(checkpoint=...)``
+   with an injected ``kill`` fault: at comparison chunk 2 of the
+   linkage stage the process dies via ``os._exit(137)`` — no stack
+   unwinding, no cleanup, the faithful model of ``kill -9``.
+2. The run store it left behind is inspected: the manifest's stage
+   ledger shows which stages completed, and the chunk artifacts show
+   exactly how much linkage work survived.
+3. The *same* configuration resumes from the store in this process:
+   completed stages are skipped, completed chunks are replayed, and
+   the result is identical to a run that never died (asserted).
+4. A *different* configuration is refused: the store's config
+   fingerprint does not match, and resuming raises
+   :class:`~repro.recovery.CheckpointMismatchError` instead of
+   silently mixing two runs' artifacts.
+
+Run:  python examples/recovery.py [--json PATH]
+      (--json writes the run-store manifest artifact to PATH)
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.core import Dataset, Record, Source
+from repro.core.pipeline import BDIPipeline, PipelineConfig
+from repro.obs import Tracer
+from repro.recovery import CheckpointMismatchError, RunStore
+from repro.resilience import ResilienceConfig, RetryPolicy
+from repro.resilience.testing import KILL_EXIT_CODE, FaultInjector, kill
+
+KILL_CHUNK = 2
+
+
+def build_dataset():
+    """Three sources, twelve records each, six entities — enough pairs
+    for the linkage stage to cut several comparison chunks."""
+    sources = []
+    for s in range(3):
+        records = [
+            Record(
+                f"s{s}r{i}",
+                f"src{s}",
+                {
+                    "title": f"widget model {i % 6} deluxe",
+                    "brand": ["acme", "acme", "bolt"][s],
+                    "price": str(10 + (i % 6)),
+                },
+            )
+            for i in range(12)
+        ]
+        sources.append(Source(f"src{s}", records))
+    return Dataset(sources)
+
+
+def pipeline_config(doomed: bool) -> PipelineConfig:
+    """The run configuration — identical either way, because the fault
+    injector (like the clock) is non-semantic and excluded from the
+    config fingerprint: the killed run and the resuming run must
+    fingerprint the same or resume would be refused."""
+    injector = (
+        FaultInjector(kill(chunk=KILL_CHUNK, attempts=1))
+        if doomed
+        else None
+    )
+    return PipelineConfig(
+        fusion="truthfinder",
+        n_workers=4,  # deterministic chunk boundaries
+        resilience=ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+            failure="retry",
+            fault_injector=injector,
+        ),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the run-store manifest artifact to PATH",
+    )
+    parser.add_argument(
+        "--doomed",
+        metavar="STORE",
+        help=argparse.SUPPRESS,  # internal: the sacrificial run
+    )
+    args = parser.parse_args()
+
+    if args.doomed:
+        # The sacrificial subprocess: dies at chunk 2, mid-linkage.
+        BDIPipeline(pipeline_config(doomed=True)).run(
+            build_dataset(), checkpoint=args.doomed
+        )
+        raise SystemExit("unreachable: the kill fault should have fired")
+
+    dataset = build_dataset()
+    baseline = BDIPipeline(pipeline_config(doomed=False)).run(dataset)
+    print(f"fault-free run:  {len(baseline.entity_table)} entities fused")
+
+    with tempfile.TemporaryDirectory() as root:
+        # 1. Murder a real run at a deterministic chunk boundary.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH", "")])
+        )
+        process = subprocess.run(
+            [sys.executable, __file__, "--doomed", root],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+            env=env,
+        )
+        assert process.returncode == KILL_EXIT_CODE, process.returncode
+        print(f"killed run:      os._exit({KILL_EXIT_CODE}) at linkage "
+              f"chunk {KILL_CHUNK} — no unwinding, no cleanup")
+
+        # 2. What the corpse left behind: a durable ledger + artifacts.
+        store = RunStore(root)
+        chunks = [key for key in store.keys() if ".chunk." in key]
+        print(f"run store:       stages {list(store.completed_stages())} "
+              f"complete, {len(chunks)} linkage chunks checkpointed, "
+              f"completed={store.completed}")
+
+        # 3. Resume under the same config: skip, replay, finish.
+        tracer = Tracer()
+        resumed = BDIPipeline(pipeline_config(doomed=False)).run(
+            dataset, tracer=tracer, checkpoint=root
+        )
+        assert resumed.entity_table == baseline.entity_table
+        assert resumed.fusion.chosen == baseline.fusion.chosen
+        assert sorted(map(sorted, resumed.clusters)) == sorted(
+            map(sorted, baseline.clusters)
+        )
+        counters = tracer.report().metrics.get("counters", {})
+        print("resumed run:     output identical to the fault-free run")
+        for name in (
+            "recovery.stages_skipped",
+            "recovery.chunks_replayed",
+            "recovery.loads",
+            "recovery.saves",
+        ):
+            if name in counters:
+                print(f"  {name:30s} {counters[name]:g}")
+        manifest = RunStore(root).manifest
+
+        # 4. A different run is refused — checkpoints never mix.
+        try:
+            BDIPipeline(
+                PipelineConfig(fusion="vote", n_workers=4)
+            ).run(dataset, checkpoint=root)
+        except CheckpointMismatchError as error:
+            print(f"changed config:  refused — {error}")
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        print(f"\nwrote run-store manifest to {args.json}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,8 +13,12 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class ConfigurationError(ReproError):
-    """A component was configured with invalid or inconsistent parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """A component was configured with invalid or inconsistent parameters.
+
+    Also a :class:`ValueError`, so callers validating constructor
+    arguments can catch it with either base.
+    """
 
 
 class DataModelError(ReproError):

@@ -122,7 +122,64 @@ class BDIPipeline:
         """The pipeline configuration."""
         return self._config
 
-    def run(self, dataset: Dataset, tracer=None) -> PipelineResult:
+    def _open_store(self, checkpoint, dataset: Dataset, tracer):
+        """Resolve ``checkpoint`` into a fingerprint-bound RunStore.
+
+        Accepts a directory path or an existing
+        :class:`repro.recovery.RunStore`. The store is claimed for this
+        exact (config, dataset) pair; a store holding another run's
+        checkpoints is refused with
+        :class:`repro.recovery.CheckpointMismatchError` rather than
+        silently mixing artifacts.
+        """
+        if checkpoint is None:
+            return None
+        from repro.recovery import (
+            RunStore,
+            config_fingerprint,
+            dataset_fingerprint,
+        )
+
+        store = (
+            checkpoint
+            if isinstance(checkpoint, RunStore)
+            else RunStore(checkpoint)
+        )
+        store.tracer = tracer
+        store.bind_fingerprint(
+            config_fingerprint(
+                self._config, dataset_fingerprint(dataset)
+            )
+        )
+        return store
+
+    @staticmethod
+    def _stage(store, stage: str, compute, span=None):
+        """Run one pipeline stage through the checkpoint ledger.
+
+        A stage already in the manifest's ledger is replayed from its
+        artifact (a damaged artifact falls through to recomputation);
+        a computed stage is durably saved and marked complete before
+        the pipeline moves on.
+        """
+        if store is None:
+            return compute()
+        key = f"stage.{stage}"
+        if stage in store.completed_stages():
+            value = store.load(key)
+            if value is not None:
+                store.tracer.counter("recovery.stages_skipped").inc()
+                if span is not None:
+                    span.set("resumed", True)
+                return value
+        value = compute()
+        meta = store.save(key, value)
+        store.mark_stage(stage, key, meta["sha256"])
+        return value
+
+    def run(
+        self, dataset: Dataset, tracer=None, checkpoint=None
+    ) -> PipelineResult:
         """Execute the full pipeline over ``dataset``.
 
         ``tracer`` (an :class:`repro.obs.Tracer`, default no-op)
@@ -132,6 +189,18 @@ class BDIPipeline:
         entity-table materialization — plus the text-layer cache
         gauges. Call ``tracer.report()`` afterwards for the structured
         run artifact, or use :meth:`run_instrumented`.
+
+        ``checkpoint`` (a directory path or a
+        :class:`repro.recovery.RunStore`, default off) makes the run
+        crash-resumable: every completed stage is durably recorded in
+        the store's stage ledger and skipped on a rerun, and the
+        stages with internal loops — comparison chunks in linkage, EM
+        and fusion iterations — checkpoint *within* the stage, so a
+        killed run resumes from its last completed unit of work with
+        results identical to an uninterrupted run. The store is bound
+        to a fingerprint of this exact config and dataset; resuming
+        under a different one raises
+        :class:`repro.recovery.CheckpointMismatchError`.
         """
         from repro.fusion import (
             AccuCopy,
@@ -158,17 +227,28 @@ class BDIPipeline:
         tracer = tracer if tracer is not None else NULL_TRACER
         config = self._config
         records = list(dataset.records())
+        store = self._open_store(checkpoint, dataset, tracer)
+
+        def sub(prefix: str):
+            """An intra-stage checkpoint namespace (None when off)."""
+            return store.sub(prefix) if store is not None else None
 
         with tracer.span(
             "pipeline.run",
             n_records=len(records),
             n_sources=len(dataset),
             execution=config.execution,
+            resumable=store is not None,
         ) as run_span:
             # 1. Schema alignment.
             with tracer.span("pipeline.schema_alignment") as span:
-                schema = build_mediated_schema(
-                    dataset, threshold=config.schema_threshold
+                schema = self._stage(
+                    store,
+                    "schema",
+                    lambda: build_mediated_schema(
+                        dataset, threshold=config.schema_threshold
+                    ),
+                    span,
                 )
                 span.set("n_attribute_clusters", len(schema.clusters()))
 
@@ -177,135 +257,198 @@ class BDIPipeline:
             with tracer.span(
                 "pipeline.record_linkage", classifier=config.classifier
             ) as span:
-                comparator = default_product_comparator()
-                blocker = TokenBlocker(max_block_size=config.max_block_size)
-                if config.classifier == "fellegi-sunter":
-                    from repro.linkage import fit_fellegi_sunter
-                    from repro.linkage.engine import ParallelComparisonEngine
 
-                    candidates = blocker.block(records).candidate_pairs()
-                    pair_engine = ParallelComparisonEngine(
+                def compute_linkage():
+                    comparator = default_product_comparator()
+                    blocker = TokenBlocker(
+                        max_block_size=config.max_block_size
+                    )
+                    if config.classifier == "fellegi-sunter":
+                        from repro.linkage import fit_fellegi_sunter
+                        from repro.linkage.engine import (
+                            ParallelComparisonEngine,
+                        )
+
+                        candidates = blocker.block(
+                            records
+                        ).candidate_pairs()
+                        pair_engine = ParallelComparisonEngine(
+                            comparator,
+                            execution=config.execution,  # type: ignore[arg-type]
+                            n_workers=config.n_workers,
+                            tracer=tracer,
+                            resilience=config.resilience,
+                            checkpoint=sub("linkage.vectors"),
+                        )
+                        vectors = pair_engine.compare_pairs(
+                            records,
+                            [
+                                (a, b)
+                                for a, b in (
+                                    sorted(pair)
+                                    for pair in sorted(
+                                        candidates, key=sorted
+                                    )
+                                )
+                            ],
+                        )
+                        classifier: object = fit_fellegi_sunter(
+                            vectors,
+                            agreement_threshold=0.8,
+                            tracer=tracer,
+                            checkpoint=sub("linkage.em"),
+                        )
+                    else:
+                        candidates = None
+                        classifier = ThresholdClassifier(
+                            config.match_threshold
+                        )
+                    linkage = resolve(
+                        records,
+                        blocker,
                         comparator,
+                        classifier,  # type: ignore[arg-type]
+                        clustering=config.clustering,  # type: ignore[arg-type]
+                        candidate_pairs=candidates,
                         execution=config.execution,  # type: ignore[arg-type]
                         n_workers=config.n_workers,
                         tracer=tracer,
                         resilience=config.resilience,
+                        checkpoint=sub("linkage.engine"),
                     )
-                    vectors = pair_engine.compare_pairs(
-                        records,
-                        [
-                            (a, b)
-                            for a, b in (
-                                sorted(pair)
-                                for pair in sorted(candidates, key=sorted)
+                    clusters = linkage.clusters
+                    if config.use_identifier_linkage:
+                        with tracer.span(
+                            "pipeline.identifier_linkage"
+                        ) as id_span:
+                            profiles = profile_attributes(dataset)
+                            detections = detect_identifier_attributes(
+                                profiles
                             )
-                        ],
-                    )
-                    classifier: object = fit_fellegi_sunter(
-                        vectors, agreement_threshold=0.8, tracer=tracer
-                    )
-                else:
-                    candidates = None
-                    classifier = ThresholdClassifier(config.match_threshold)
-                linkage = resolve(
-                    records,
-                    blocker,
-                    comparator,
-                    classifier,  # type: ignore[arg-type]
-                    clustering=config.clustering,  # type: ignore[arg-type]
-                    candidate_pairs=candidates,
-                    execution=config.execution,  # type: ignore[arg-type]
-                    n_workers=config.n_workers,
-                    tracer=tracer,
-                    resilience=config.resilience,
+                            identifier_clusters = link_by_identifier(
+                                records, detections
+                            )
+                            pairs = clusters_to_pairs(
+                                clusters
+                            ) | clusters_to_pairs(identifier_clusters)
+                            clusters = connected_components(
+                                pairs,
+                                [
+                                    record.record_id
+                                    for record in records
+                                ],
+                            )
+                            id_span.set(
+                                "n_identifiers", len(detections)
+                            )
+                            id_span.set("n_clusters", len(clusters))
+                    return linkage, clusters
+
+                linkage, clusters = self._stage(
+                    store, "linkage", compute_linkage, span
                 )
-                clusters = linkage.clusters
                 span.set("n_candidates", linkage.n_candidates)
-                span.set("n_similarity_clusters", len(clusters))
+                span.set("n_similarity_clusters", len(linkage.clusters))
                 if config.resilience is not None:
                     span.set("n_quarantined", linkage.n_quarantined)
-                if config.use_identifier_linkage:
-                    with tracer.span("pipeline.identifier_linkage") as id_span:
-                        profiles = profile_attributes(dataset)
-                        detections = detect_identifier_attributes(profiles)
-                        identifier_clusters = link_by_identifier(
-                            records, detections
-                        )
-                        pairs = clusters_to_pairs(
-                            clusters
-                        ) | clusters_to_pairs(identifier_clusters)
-                        clusters = connected_components(
-                            pairs,
-                            [record.record_id for record in records],
-                        )
-                        id_span.set("n_identifiers", len(detections))
-                        id_span.set("n_clusters", len(clusters))
                 span.set("n_clusters", len(clusters))
                 tracer.counter("pipeline.clusters").inc(len(clusters))
 
             # 3. Claims: one claim per (source, cluster, mediated
             #    attribute), values canonicalized so format variants agree.
             with tracer.span("pipeline.claims") as span:
-                claim_set = ClaimSet()
-                cluster_of: dict[str, str] = {}
-                for cluster in clusters:
-                    cluster_id = min(cluster)
-                    for record_id in cluster:
-                        cluster_of[record_id] = cluster_id
-                seen: set[tuple[str, str]] = set()
-                for record in records:
-                    cluster_id = cluster_of[record.record_id]
-                    translated = schema.translate(record)
-                    for attribute, value in translated.items():
-                        item_id = f"{cluster_id}::{attribute}"
-                        key = (record.source_id, item_id)
-                        if key in seen:
-                            continue
-                        seen.add(key)
-                        claim_set.add(
-                            Claim(
-                                record.source_id,
-                                item_id,
-                                canonical_value(value),
+
+                def compute_claims():
+                    claim_set = ClaimSet()
+                    cluster_of: dict[str, str] = {}
+                    for cluster in clusters:
+                        cluster_id = min(cluster)
+                        for record_id in cluster:
+                            cluster_of[record_id] = cluster_id
+                    seen: set[tuple[str, str]] = set()
+                    for record in records:
+                        cluster_id = cluster_of[record.record_id]
+                        translated = schema.translate(record)
+                        for attribute, value in translated.items():
+                            item_id = f"{cluster_id}::{attribute}"
+                            key = (record.source_id, item_id)
+                            if key in seen:
+                                continue
+                            seen.add(key)
+                            claim_set.add(
+                                Claim(
+                                    record.source_id,
+                                    item_id,
+                                    canonical_value(value),
+                                )
                             )
-                        )
+                    return claim_set
+
+                claim_set = self._stage(
+                    store, "claims", compute_claims, span
+                )
                 span.set("n_claims", len(claim_set))
                 span.set("n_items", len(claim_set.items()))
 
-            # 4. Fusion.
+            # 4. Fusion. Fusers are built lazily so only the selected
+            #    algorithm is constructed (and wired to the solver's
+            #    iteration checkpoint when resumable).
             with tracer.span(
                 "pipeline.fusion", algorithm=config.fusion
             ) as span:
-                fusers = {
-                    "vote": VotingFuser(),
-                    "truthfinder": TruthFinder(tracer=tracer),
-                    "accuvote": AccuVote(
-                        n_false_values=config.n_false_values
-                    ),
-                    "accucopy": AccuCopy(
-                        n_false_values=config.n_false_values,
-                        tracer=tracer,
-                    ),
-                }
-                fusion = fusers[config.fusion].fuse(claim_set)
 
-                if config.numeric_fusion:
-                    fusion = self._refuse_numeric_items(claim_set, fusion)
+                def compute_fusion():
+                    fusers = {
+                        "vote": lambda: VotingFuser(),
+                        "truthfinder": lambda: TruthFinder(
+                            tracer=tracer,
+                            checkpoint=sub("fusion.solver"),
+                        ),
+                        "accuvote": lambda: AccuVote(
+                            n_false_values=config.n_false_values
+                        ),
+                        "accucopy": lambda: AccuCopy(
+                            n_false_values=config.n_false_values,
+                            tracer=tracer,
+                            checkpoint=sub("fusion.solver"),
+                        ),
+                    }
+                    fusion = fusers[config.fusion]().fuse(claim_set)
+                    if config.numeric_fusion:
+                        fusion = self._refuse_numeric_items(
+                            claim_set, fusion
+                        )
+                    return fusion
+
+                fusion = self._stage(
+                    store, "fusion", compute_fusion, span
+                )
                 span.set("iterations", fusion.iterations)
 
             # 5. Entity table.
             with tracer.span("pipeline.entity_table") as span:
-                entity_table: dict[str, dict[str, str]] = {}
-                for item_id, value in fusion.chosen.items():
-                    cluster_id, __, attribute = item_id.partition("::")
-                    entity_table.setdefault(cluster_id, {})[
-                        attribute
-                    ] = value
+
+                def compute_entity_table():
+                    entity_table: dict[str, dict[str, str]] = {}
+                    for item_id, value in fusion.chosen.items():
+                        cluster_id, __, attribute = item_id.partition(
+                            "::"
+                        )
+                        entity_table.setdefault(cluster_id, {})[
+                            attribute
+                        ] = value
+                    return entity_table
+
+                entity_table = self._stage(
+                    store, "entity_table", compute_entity_table, span
+                )
                 span.set("n_entities", len(entity_table))
 
             tracer.counter("pipeline.records").inc(len(records))
             run_span.set("n_clusters", len(clusters))
             observe_text_caches(tracer)
+            if store is not None:
+                store.mark_complete()
 
         return PipelineResult(
             schema=schema,

@@ -83,6 +83,7 @@ def run_distributed_linkage(
     memoize: bool = True,
     tracer=None,
     resilience=None,
+    checkpoint=None,
 ) -> DistributedRun:
     """Execute distributed matching and return pairs plus cluster cost.
 
@@ -107,6 +108,12 @@ def run_distributed_linkage(
     ``completed_chunks``/``n_chunks`` and carries the quarantined
     pairs and dead-letter log — a run with failed workers degrades to
     partial results instead of aborting.
+
+    ``checkpoint`` (a :class:`repro.recovery.RunStore`, a view of
+    one, or a directory path, default off) makes the comparison stage crash-resumable: a
+    rerun over the same blocks and records against the same store
+    resumes from the last completed chunk instead of rescoring from
+    scratch.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     cost_model = cost_model or ClusterCostModel()
@@ -142,7 +149,7 @@ def run_distributed_linkage(
                 unique_pairs.append(pair)
         engine = ParallelComparisonEngine(
             comparator, execution=execution, n_workers=n_workers,
-            tracer=tracer, resilience=resilience,
+            tracer=tracer, resilience=resilience, checkpoint=checkpoint,
         )
         scored = unique_pairs if memoize else raw_pairs
         run = engine.match_pairs(by_id, scored, classifier)

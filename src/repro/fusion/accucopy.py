@@ -53,6 +53,12 @@ class AccuCopy(Fuser):
     tracer:
         An :class:`repro.obs.Tracer` (default no-op); each fuse records
         a span carrying the per-round accuracy-change deltas.
+    checkpoint:
+        An optional checkpoint store (a
+        :class:`repro.recovery.RunStore` or a view of one). Each
+        round's full solver state is durably saved; a rerun over the
+        same claims with the same parameters resumes from the last
+        completed round with output identical to an uninterrupted run.
     """
 
     name = "accucopy"
@@ -65,6 +71,7 @@ class AccuCopy(Fuser):
         outer_iterations: int = 5,
         tolerance: float = 1e-3,
         tracer=None,
+        checkpoint=None,
     ) -> None:
         if outer_iterations < 1:
             raise ConfigurationError("outer_iterations must be >= 1")
@@ -76,6 +83,19 @@ class AccuCopy(Fuser):
         self._outer_iterations = outer_iterations
         self._tolerance = tolerance
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._checkpoint = checkpoint
+
+    def _state_signature(self, claims: ClaimSet) -> str:
+        from repro.recovery import claims_signature, config_fingerprint
+
+        return config_fingerprint(
+            claims_signature(claims),
+            self._n,
+            self._initial_accuracy,
+            self._detector,
+            self._outer_iterations,
+            self._tolerance,
+        )
 
     def _vote_count(self, accuracy: float) -> float:
         accuracy = min(_ACCURACY_CEIL, max(_ACCURACY_FLOOR, accuracy))
@@ -128,10 +148,34 @@ class AccuCopy(Fuser):
         posteriors: dict[tuple[str, str], float] = {}
         iterations = 0
         deltas: list[float] = []
+        checkpoint = self._checkpoint
+        signature = start = None
+        converged = False
+        if checkpoint is not None:
+            signature = self._state_signature(claims)
+            state = checkpoint.load("state")
+            if state is not None and state.get("signature") == signature:
+                truths = state["truths"]
+                accuracy = state["accuracy"]
+                copy_probability = state["copy_probability"]
+                posteriors = state["posteriors"]
+                deltas = list(state["deltas"])
+                iterations = state["iterations"]
+                converged = state["converged"]
+                start = iterations + 1
+                self._tracer.counter(
+                    "recovery.iterations_skipped"
+                ).inc(iterations)
         with self._tracer.span(
-            "fusion.accucopy", outer_iterations=self._outer_iterations
+            "fusion.accucopy",
+            outer_iterations=self._outer_iterations,
+            resumed_at=start or 0,
         ) as span:
-            for iterations in range(1, self._outer_iterations + 1):
+            for iterations in (
+                ()
+                if converged
+                else range(start or 1, self._outer_iterations + 1)
+            ):
                 copy_probability = self._detector.detect(
                     claims, truths, accuracy
                 )
@@ -160,7 +204,24 @@ class AccuCopy(Fuser):
                 deltas.append(accuracy_change)
                 stable_truths = new_truths == truths
                 truths, accuracy = new_truths, new_accuracy
-                if stable_truths and accuracy_change < self._tolerance:
+                done = (
+                    stable_truths and accuracy_change < self._tolerance
+                )
+                if checkpoint is not None:
+                    checkpoint.save(
+                        "state",
+                        {
+                            "signature": signature,
+                            "iterations": iterations,
+                            "truths": truths,
+                            "accuracy": accuracy,
+                            "copy_probability": copy_probability,
+                            "posteriors": posteriors,
+                            "deltas": deltas,
+                            "converged": done,
+                        },
+                    )
+                if done:
                     break
             span.set("iterations", iterations)
             span.set("deltas", [round(delta, 8) for delta in deltas])

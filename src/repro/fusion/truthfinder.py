@@ -49,6 +49,13 @@ class TruthFinder(Fuser):
         An :class:`repro.obs.Tracer` (default no-op); each fuse records
         a span carrying the per-iteration convergence deltas, so a run
         report answers "did it converge in 4 iterations or 40?".
+    checkpoint:
+        An optional checkpoint store (a
+        :class:`repro.recovery.RunStore` or a view of one). Each
+        iteration's full solver state is durably saved after it
+        completes; a rerun over the same claims with the same
+        parameters resumes mid-convergence from the last completed
+        iteration, producing output identical to an uninterrupted run.
     """
 
     name = "truthfinder"
@@ -62,6 +69,7 @@ class TruthFinder(Fuser):
         max_iterations: int = 50,
         tolerance: float = 1e-4,
         tracer=None,
+        checkpoint=None,
     ) -> None:
         if not 0.0 < initial_trust < 1.0:
             raise ConfigurationError("initial_trust must be in (0, 1)")
@@ -80,6 +88,19 @@ class TruthFinder(Fuser):
         self._max_iterations = max_iterations
         self._tolerance = tolerance
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._checkpoint = checkpoint
+
+    def _state_signature(self, claims: ClaimSet) -> str:
+        from repro.recovery import claims_signature, config_fingerprint
+
+        return config_fingerprint(
+            claims_signature(claims),
+            self._initial_trust,
+            self._dampening,
+            self._implication_weight,
+            self._max_iterations,
+            self._tolerance,
+        )
 
     def fuse(self, claims: ClaimSet) -> FusionResult:
         claims.require_nonempty()
@@ -88,10 +109,35 @@ class TruthFinder(Fuser):
         iterations = 0
         value_confidence: dict[tuple[str, str], float] = {}
         deltas: list[float] = []
+        checkpoint = self._checkpoint
+        signature = start = None
+        if checkpoint is not None:
+            signature = self._state_signature(claims)
+            state = checkpoint.load("state")
+            if state is not None and state.get("signature") == signature:
+                # Resume mid-convergence. value_confidence is part of
+                # the state because the final chosen values use the
+                # confidences computed *before* the last trust update —
+                # recomputing them from the restored trust would differ.
+                trust = state["trust"]
+                value_confidence = state["value_confidence"]
+                deltas = list(state["deltas"])
+                iterations = state["iterations"]
+                start = iterations + 1
+                self._tracer.counter(
+                    "recovery.iterations_skipped"
+                ).inc(iterations)
         with self._tracer.span(
-            "fusion.truthfinder", max_iterations=self._max_iterations
+            "fusion.truthfinder",
+            max_iterations=self._max_iterations,
+            resumed_at=start or 0,
         ) as span:
-            for iterations in range(1, self._max_iterations + 1):
+            converged = bool(deltas) and deltas[-1] < self._tolerance
+            for iterations in (
+                ()
+                if converged
+                else range(start or 1, self._max_iterations + 1)
+            ):
                 value_confidence = self._value_confidences(claims, trust)
                 new_trust: dict[str, float] = {}
                 for source in sources:
@@ -104,6 +150,17 @@ class TruthFinder(Fuser):
                 change = self._trust_change(trust, new_trust)
                 deltas.append(change)
                 trust = new_trust
+                if checkpoint is not None:
+                    checkpoint.save(
+                        "state",
+                        {
+                            "signature": signature,
+                            "iterations": iterations,
+                            "trust": trust,
+                            "value_confidence": value_confidence,
+                            "deltas": deltas,
+                        },
+                    )
                 if change < self._tolerance:
                     break
             span.set("iterations", iterations)

@@ -118,6 +118,7 @@ def fit_fellegi_sunter(
     tolerance: float = 1e-6,
     initial_prevalence: float = 0.1,
     tracer=None,
+    checkpoint=None,
 ) -> FellegiSunterModel:
     """Fit m/u/prevalence by EM over unlabeled comparison vectors.
 
@@ -128,6 +129,11 @@ def fit_fellegi_sunter(
 
     ``tracer`` (an :class:`repro.obs.Tracer`, default no-op) records an
     EM span carrying the per-iteration parameter-change deltas.
+
+    ``checkpoint`` (a :class:`repro.recovery.RunStore` or a view of
+    one, default off) durably saves the EM state after every iteration;
+    a rerun over the same patterns with the same parameters resumes
+    mid-convergence with a fit identical to an uninterrupted run.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     if not vectors:
@@ -144,14 +150,34 @@ def fit_fellegi_sunter(
     u = [0.1] * n_fields
     prevalence = initial_prevalence
     deltas: list[float] = []
+    signature = None
+    if checkpoint is not None:
+        from repro.recovery import config_fingerprint
+
+        signature = config_fingerprint(
+            sorted(patterns.items()),
+            agreement_threshold,
+            max_iterations,
+            tolerance,
+            initial_prevalence,
+        )
+        state = checkpoint.load("state")
+        if state is not None and state.get("signature") == signature:
+            m = list(state["m"])
+            u = list(state["u"])
+            prevalence = state["prevalence"]
+            deltas = list(state["deltas"])
+            tracer.counter("recovery.iterations_skipped").inc(len(deltas))
 
     with tracer.span(
         "classify.fellegi_sunter_em",
         n_vectors=len(vectors),
         n_patterns=len(patterns),
         max_iterations=max_iterations,
+        resumed_at=len(deltas),
     ) as span:
-        for __ in range(max_iterations):
+        converged = bool(deltas) and deltas[-1] < tolerance
+        for __ in () if converged else range(len(deltas), max_iterations):
             # E-step: responsibility of the match class for each pattern.
             responsibilities: dict[tuple[bool, ...], float] = {}
             for pattern in patterns:
@@ -201,6 +227,17 @@ def fit_fellegi_sunter(
             )
             deltas.append(delta)
             m, u, prevalence = new_m, new_u, new_prevalence
+            if checkpoint is not None:
+                checkpoint.save(
+                    "state",
+                    {
+                        "signature": signature,
+                        "m": m,
+                        "u": u,
+                        "prevalence": prevalence,
+                        "deltas": deltas,
+                    },
+                )
             if delta < tolerance:
                 break
         span.set("iterations", len(deltas))

@@ -62,6 +62,14 @@ ExecutionMode = Literal["serial", "process"]
 
 IdPair = tuple[str, str]
 
+# Checkpointing without an explicit ResilienceConfig routes through the
+# resilient chunked path under this fail-fast config: one attempt, no
+# retries, abort on first failure — the same semantics as the
+# non-resilient path (and serial-chunked output is asserted identical
+# to unchunked in tests/test_resilience.py), but chunk results flow
+# through the executor where they can be persisted and replayed.
+_CHECKPOINT_PASSTHROUGH = ResilienceConfig(failure="fail")
+
 
 def prepare_records(
     comparator: RecordComparator, records: Iterable[Record]
@@ -288,6 +296,16 @@ class ParallelComparisonEngine:
         (the default) keeps the zero-overhead fail-fast path; serial
         execution is then also chunked so both backends recover
         identically.
+    checkpoint:
+        An optional checkpoint store (a :class:`repro.recovery.RunStore`,
+        a view of one, or a directory path to open a store at).
+        Completed chunk results are durably saved as
+        they finish, and a rerun of the same workload against the same
+        store resumes from the last completed chunk instead of
+        recomputing. Works with or without ``resilience``: without it,
+        work routes through the chunked path under a fail-fast
+        pass-through config whose output is identical to the plain
+        path.
     """
 
     def __init__(
@@ -298,6 +316,7 @@ class ParallelComparisonEngine:
         chunk_size: int = 2048,
         tracer=None,
         resilience: ResilienceConfig | None = None,
+        checkpoint=None,
     ) -> None:
         if execution not in ("serial", "process"):
             raise ConfigurationError(f"unknown execution mode {execution!r}")
@@ -317,6 +336,11 @@ class ParallelComparisonEngine:
         self._chunk_size = chunk_size
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._resilience = resilience
+        if isinstance(checkpoint, (str, os.PathLike)):
+            from repro.recovery import RunStore
+
+            checkpoint = RunStore(checkpoint)
+        self._checkpoint = checkpoint
         self._last_dead_letters: DeadLetterLog | None = None
 
     @property
@@ -409,7 +433,7 @@ class ParallelComparisonEngine:
         """
         by_id = self._by_id(records)
         valid = self._valid_pairs(by_id, pairs)
-        if self._resilience is not None:
+        if self._resilience is not None or self._checkpoint is not None:
             return self._compare_pairs_resilient(by_id, valid)
         tracer = self._tracer
         with tracer.span(
@@ -467,7 +491,7 @@ class ParallelComparisonEngine:
         threshold: float | None = None
         if isinstance(classifier, ThresholdClassifier):
             threshold = classifier.match_threshold
-        if self._resilience is not None:
+        if self._resilience is not None or self._checkpoint is not None:
             return self._match_pairs_resilient(
                 by_id, valid, classifier, threshold
             )
@@ -661,6 +685,27 @@ class ParallelComparisonEngine:
 
         return run, lambda: None
 
+    def _scoped_checkpoint(self, kind: str):
+        """The chunk store namespaced by payload shape.
+
+        Score chunks and match chunks carry differently-shaped values,
+        so they checkpoint under distinct prefixes — a store reused
+        across both operations never replays one shape into the other.
+        """
+        if self._checkpoint is None:
+            return None
+        return self._checkpoint.sub(kind)
+
+    def _chunk_executor(self, kind: str) -> ResilientChunkExecutor:
+        return ResilientChunkExecutor(
+            self._resilience
+            if self._resilience is not None
+            else _CHECKPOINT_PASSTHROUGH,
+            tracer=self._tracer,
+            scope="engine.chunk",
+            checkpoint=self._scoped_checkpoint(kind),
+        )
+
     def _compare_pairs_resilient(
         self, by_id: Mapping[str, Record], valid: list[IdPair]
     ) -> list[ComparisonVector]:
@@ -673,9 +718,7 @@ class ParallelComparisonEngine:
         ) as span:
             chunks = self._chunks(valid) if valid else []
             run_attempt, close = self._score_runner(by_id)
-            executor = ResilientChunkExecutor(
-                self._resilience, tracer=tracer, scope="engine.chunk"
-            )
+            executor = self._chunk_executor("score")
             try:
                 outcome = executor.run(
                     chunks, run_attempt, _validate_score_result
@@ -721,12 +764,11 @@ class ParallelComparisonEngine:
             if threshold is not None:
                 run_attempt, close = self._match_runner(by_id, threshold)
                 validate = _validate_match_result
+                executor = self._chunk_executor("match")
             else:
                 run_attempt, close = self._score_runner(by_id)
                 validate = _validate_score_result
-            executor = ResilientChunkExecutor(
-                self._resilience, tracer=tracer, scope="engine.chunk"
-            )
+                executor = self._chunk_executor("score")
             try:
                 outcome = executor.run(chunks, run_attempt, validate)
             finally:

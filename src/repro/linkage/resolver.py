@@ -72,6 +72,7 @@ def resolve(
     n_workers: int | None = None,
     tracer=None,
     resilience=None,
+    checkpoint=None,
 ) -> LinkageResult:
     """Run block → compare → classify → cluster over ``records``.
 
@@ -96,6 +97,12 @@ def resolve(
     retried with backoff and, under ``failure="skip"``, persistent
     failures are quarantined into the result's ``dead_letters`` while
     linkage completes over the surviving pairs.
+
+    ``checkpoint`` (a :class:`repro.recovery.RunStore`, a view of
+    one, or a directory path, default off) makes the comparison stage crash-resumable: the
+    engine durably saves completed chunk results into the store, and a
+    rerun of the same workload against the same store resumes from the
+    last completed chunk.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     by_id = {record.record_id: record for record in records}
@@ -118,6 +125,7 @@ def resolve(
         n_workers=n_workers,
         tracer=tracer,
         resilience=resilience,
+        checkpoint=checkpoint,
     )
     run = engine.match_pairs(by_id, ordered_pairs, classifier)
     match_pairs = run.match_pairs

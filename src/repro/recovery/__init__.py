@@ -1,0 +1,28 @@
+"""Durable checkpointing and crash-resumable runs.
+
+`RunStore` persists stage/chunk/iteration checkpoints with atomic
+write-rename semantics and content checksums; fingerprints guard
+against resuming a different run's artifacts. See DESIGN.md.
+"""
+
+from repro.recovery.fingerprint import (
+    claims_signature,
+    config_fingerprint,
+    dataset_fingerprint,
+)
+from repro.recovery.store import (
+    CheckpointMismatchError,
+    RecoveryError,
+    RunStore,
+    StoreView,
+)
+
+__all__ = [
+    "CheckpointMismatchError",
+    "RecoveryError",
+    "RunStore",
+    "StoreView",
+    "claims_signature",
+    "config_fingerprint",
+    "dataset_fingerprint",
+]

@@ -1,0 +1,126 @@
+"""Deterministic fingerprints: "is this checkpoint from the same run?"
+
+Resuming a checkpointed run is only safe when the resumed process is
+computing *the same thing* the killed process was. The fingerprint is
+that guard: a stable SHA-256 digest over the semantic configuration
+and the dataset content, identical across processes and machines (no
+``id()``, no salted ``hash()``, no timestamps). The
+:class:`~repro.recovery.store.RunStore` records it in the run manifest
+and refuses to resume under a different one.
+
+Fields that steer *execution* but not *results* — injected clocks and
+sleeps, fault injectors, dead-letter file paths — are excluded, so a
+run killed by an injected ``kill`` fault resumes cleanly under the
+same config with the injector removed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+__all__ = [
+    "claims_signature",
+    "config_fingerprint",
+    "dataset_fingerprint",
+]
+
+#: Dataclass fields that carry execution plumbing rather than semantics;
+#: two configs differing only here compute identical results.
+NONSEMANTIC_FIELDS = frozenset(
+    {"clock", "sleep", "fault_injector", "tracer", "dead_letter_path"}
+)
+
+
+def _canonical(value) -> str:
+    """A stable, process-independent rendering of ``value``."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, bytes):
+        return "bytes:" + hashlib.sha256(value).hexdigest()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        rendered = ",".join(
+            f"{field.name}={_canonical(getattr(value, field.name))}"
+            for field in dataclasses.fields(value)
+            if field.name not in NONSEMANTIC_FIELDS
+        )
+        return f"{type(value).__qualname__}({rendered})"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{_canonical(key)}:{_canonical(item)}"
+            for key, item in sorted(
+                value.items(), key=lambda pair: repr(pair[0])
+            )
+        )
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_canonical(item) for item in value) + "]"
+    if isinstance(value, (set, frozenset)):
+        return "{" + ",".join(sorted(_canonical(v) for v in value)) + "}"
+    if callable(value):
+        name = getattr(
+            value,
+            "__qualname__",
+            getattr(value, "__name__", type(value).__qualname__),
+        )
+        return f"callable:{name}"
+    return f"object:{type(value).__qualname__}"
+
+
+def config_fingerprint(*parts) -> str:
+    """SHA-256 hex digest over the canonical form of ``parts``.
+
+    Accepts any mix of dataclass configs, primitives, and containers;
+    pre-computed digests (e.g. :func:`dataset_fingerprint` output) fold
+    in as plain strings.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(_canonical(part).encode("utf-8"))
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+def claims_signature(claims) -> str:
+    """SHA-256 hex digest over a :class:`~repro.fusion.base.ClaimSet`.
+
+    Order-independent (claims are sorted), so two claim sets with the
+    same content produce the same signature regardless of insertion
+    order. Used by the iterative solvers to tie per-iteration
+    checkpoints to their exact input.
+    """
+    digest = hashlib.sha256()
+    for claim in sorted(
+        claims, key=lambda c: (c.source_id, c.item_id, c.value)
+    ):
+        digest.update(claim.source_id.encode("utf-8"))
+        digest.update(b"\x1f")
+        digest.update(claim.item_id.encode("utf-8"))
+        digest.update(b"\x1f")
+        digest.update(claim.value.encode("utf-8"))
+        digest.update(b"\x1e")
+    return digest.hexdigest()
+
+
+def dataset_fingerprint(dataset) -> str:
+    """SHA-256 hex digest over a dataset's full record content.
+
+    One linear pass over every record's id, source, and attribute
+    values — cheap insurance against resuming a checkpoint against a
+    corpus that changed underneath it.
+    """
+    digest = hashlib.sha256()
+    for record in dataset.records():
+        digest.update(record.record_id.encode("utf-8"))
+        digest.update(b"\x1f")
+        digest.update(record.source_id.encode("utf-8"))
+        digest.update(b"\x1f")
+        for name in sorted(record.attributes):
+            digest.update(name.encode("utf-8"))
+            digest.update(b"=")
+            digest.update(str(record.attributes[name]).encode("utf-8"))
+            digest.update(b"\x1f")
+        digest.update(b"\x1e")
+    return digest.hexdigest()

@@ -1,0 +1,381 @@
+"""The durable run store: checkpoints that survive process death.
+
+A :class:`RunStore` is a directory of checkpoint artifacts plus a JSON
+run manifest, built for exactly one job: let a killed integration run
+— OOM-kill, deploy restart, power loss — resume from its last
+completed unit of work instead of recomputing from scratch. Its
+guarantees:
+
+1. **Atomic write-rename** — every artifact (and the manifest) is
+   written to a temporary file, flushed, fsynced, and ``os.replace``d
+   into place, so a crash mid-write never leaves a half-visible
+   checkpoint under the real name.
+2. **Content checksums** — each artifact embeds a SHA-256 of its
+   payload; a torn, truncated, or bit-flipped file fails verification
+   on load.
+3. **Corruption is absence** — any artifact that fails the magic,
+   checksum, or unpickling check is treated as *not checkpointed* (and
+   counted on ``recovery.corrupt``), never raised: the worst outcome
+   of a damaged checkpoint is recomputation.
+4. **Fingerprint-guarded resume** — the manifest records the run's
+   config fingerprint (:mod:`repro.recovery.fingerprint`); binding a
+   different fingerprint raises :class:`CheckpointMismatchError`
+   rather than silently mixing artifacts of two different runs.
+
+Keys are dotted paths (``"stage.schema"``, ``"linkage.chunk.3"``);
+:meth:`RunStore.sub` scopes a key prefix so each execution layer
+(engine chunks, solver state, pipeline stages) checkpoints into its
+own namespace of the same store. Save/load/skip traffic is emitted as
+``recovery.*`` counters through the attached tracer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+from repro.core.errors import ReproError
+from repro.obs import NULL_TRACER
+
+__all__ = [
+    "CheckpointMismatchError",
+    "RecoveryError",
+    "RunStore",
+    "StoreView",
+]
+
+_MAGIC = b"REPRO-CKPT-1\n"
+_MANIFEST = "manifest.json"
+_ARTIFACT_DIR = "artifacts"
+
+
+class RecoveryError(ReproError):
+    """Base class for checkpoint/recovery errors."""
+
+
+class CheckpointMismatchError(RecoveryError):
+    """The store holds checkpoints of a *different* run.
+
+    Raised when the fingerprint bound at resume time disagrees with
+    the one recorded in the manifest — resuming would silently mix
+    artifacts computed under another config or dataset.
+    """
+
+    def __init__(self, recorded: str, offered: str, root: str) -> None:
+        super().__init__(
+            f"run store at {root!r} was created with config fingerprint "
+            f"{recorded[:12]}… but this run has {offered[:12]}…; refusing "
+            "to resume a different run's checkpoints (use a fresh store, "
+            "or re-run with the original configuration and dataset)"
+        )
+        self.recorded = recorded
+        self.offered = offered
+
+
+def _atomic_write(path: Path, data: bytes, durable: bool) -> None:
+    """Write-rename: ``data`` appears at ``path`` entirely or not at all."""
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        if durable:
+            os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _artifact_name(key: str) -> str:
+    """A filesystem-safe, collision-free filename for ``key``."""
+    safe = "".join(
+        ch if ch.isalnum() or ch in "._-" else "-" for ch in key
+    )[:80]
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+    return f"{safe}-{digest}.ckpt"
+
+
+class RunStore:
+    """A durable checkpoint directory for one resumable run.
+
+    Parameters
+    ----------
+    root:
+        Directory to create/open. A fresh directory is a fresh run; an
+        existing one resumes it (subject to the fingerprint check).
+    run_id:
+        Recorded in the manifest for humans and CI artifacts.
+    fingerprint:
+        Optional config fingerprint to bind immediately (see
+        :meth:`bind_fingerprint`).
+    tracer:
+        An :class:`repro.obs.Tracer` for the ``recovery.*`` counters;
+        reassignable via :attr:`tracer` (the pipeline binds its run
+        tracer at start). Defaults to the no-op tracer.
+    durable:
+        When ``True`` (default) artifact and manifest writes fsync
+        before rename; ``False`` keeps atomicity but trades crash
+        durability for speed (checksums still detect any damage).
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        run_id: str = "run",
+        fingerprint: str | None = None,
+        tracer=None,
+        durable: bool = True,
+    ) -> None:
+        self._root = Path(root)
+        self._artifacts = self._root / _ARTIFACT_DIR
+        self._artifacts.mkdir(parents=True, exist_ok=True)
+        self._durable = durable
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._manifest = self._load_manifest(run_id)
+        if fingerprint is not None:
+            self.bind_fingerprint(fingerprint)
+
+    # --- manifest ----------------------------------------------------
+
+    def _load_manifest(self, run_id: str) -> dict:
+        path = self._root / _MANIFEST
+        if path.exists():
+            try:
+                manifest = json.loads(path.read_text(encoding="utf-8"))
+                if isinstance(manifest, dict) and "version" in manifest:
+                    return manifest
+            except (OSError, ValueError):
+                pass
+            # A torn manifest is recoverable: artifacts are
+            # self-describing, so start a fresh ledger over them.
+            self._tracer.counter("recovery.corrupt").inc()
+        return {
+            "version": 1,
+            "run_id": run_id,
+            "fingerprint": None,
+            "seq": 0,
+            "stages": [],
+            "completed": False,
+        }
+
+    def _flush_manifest(self) -> None:
+        data = json.dumps(
+            self._manifest, indent=2, sort_keys=True
+        ).encode("utf-8")
+        _atomic_write(self._root / _MANIFEST, data, self._durable)
+
+    @property
+    def manifest(self) -> dict:
+        """A deep copy of the manifest (run id, fingerprint, ledger)."""
+        return json.loads(json.dumps(self._manifest))
+
+    @property
+    def root(self) -> Path:
+        """The store's root directory."""
+        return self._root
+
+    @property
+    def run_id(self) -> str:
+        return self._manifest["run_id"]
+
+    @property
+    def fingerprint(self) -> str | None:
+        """The bound config fingerprint, if any."""
+        return self._manifest["fingerprint"]
+
+    @property
+    def completed(self) -> bool:
+        """Whether :meth:`mark_complete` was called for this run."""
+        return bool(self._manifest["completed"])
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+
+    def bind_fingerprint(self, fingerprint: str) -> None:
+        """Claim this store for runs with ``fingerprint``.
+
+        A fresh store adopts it; a store already bound to the same
+        fingerprint is a valid resume; any other fingerprint raises
+        :class:`CheckpointMismatchError`.
+        """
+        recorded = self._manifest["fingerprint"]
+        if recorded is None:
+            self._manifest["fingerprint"] = fingerprint
+            self._flush_manifest()
+        elif recorded != fingerprint:
+            raise CheckpointMismatchError(
+                recorded, fingerprint, str(self._root)
+            )
+
+    def mark_stage(self, stage: str, key: str, sha256: str | None = None) -> None:
+        """Append (or refresh) one stage-ledger entry in the manifest."""
+        self._manifest["seq"] += 1
+        entry = {
+            "stage": stage,
+            "key": key,
+            "sha256": sha256,
+            "seq": self._manifest["seq"],
+        }
+        self._manifest["stages"] = [
+            item
+            for item in self._manifest["stages"]
+            if item["stage"] != stage
+        ] + [entry]
+        self._flush_manifest()
+
+    def completed_stages(self) -> tuple[str, ...]:
+        """Stage names in the ledger, in completion (seq) order."""
+        return tuple(
+            item["stage"]
+            for item in sorted(
+                self._manifest["stages"], key=lambda item: item["seq"]
+            )
+        )
+
+    def mark_complete(self) -> None:
+        """Record that the run finished end to end."""
+        self._manifest["completed"] = True
+        self._flush_manifest()
+
+    # --- artifacts ---------------------------------------------------
+
+    def _path_for(self, key: str) -> Path:
+        return self._artifacts / _artifact_name(key)
+
+    def save(self, key: str, value) -> dict:
+        """Durably checkpoint ``value`` under ``key``.
+
+        Returns the artifact metadata (``key``/``sha256``/``size``).
+        The write is atomic: a concurrent or crashed save never
+        exposes a partial artifact under the final name.
+        """
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        sha = hashlib.sha256(payload).hexdigest()
+        meta = {"key": key, "sha256": sha, "size": len(payload)}
+        header = json.dumps(meta, sort_keys=True).encode("utf-8")
+        _atomic_write(
+            self._path_for(key),
+            _MAGIC + header + b"\n" + payload,
+            self._durable,
+        )
+        self._tracer.counter("recovery.saves").inc()
+        self._tracer.counter("recovery.save_bytes").inc(len(payload))
+        return meta
+
+    def load(self, key: str):
+        """The checkpointed value, or ``None`` when absent or damaged.
+
+        Every failure mode — missing file, bad magic, torn payload,
+        checksum mismatch, unpicklable bytes — is treated as "not
+        checkpointed": the caller recomputes, the run never crashes on
+        a bad checkpoint. (``None`` is therefore not a storable value.)
+        """
+        path = self._path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self._tracer.counter("recovery.misses").inc()
+            return None
+        value = self._decode(raw, key)
+        if value is None:
+            self._tracer.counter("recovery.corrupt").inc()
+            return None
+        self._tracer.counter("recovery.loads").inc()
+        return value
+
+    @staticmethod
+    def _decode(raw: bytes, key: str):
+        if not raw.startswith(_MAGIC):
+            return None
+        try:
+            header, payload = raw[len(_MAGIC):].split(b"\n", 1)
+            meta = json.loads(header)
+            if meta.get("key") != key:
+                return None
+            if len(payload) != meta["size"]:
+                return None
+            if hashlib.sha256(payload).hexdigest() != meta["sha256"]:
+                return None
+            return pickle.loads(payload)
+        except Exception:  # noqa: BLE001 — any damage means "absent"
+            return None
+
+    def delete(self, key: str) -> None:
+        """Drop one artifact (missing is fine)."""
+        try:
+            self._path_for(key).unlink()
+        except OSError:
+            pass
+
+    def keys(self) -> tuple[str, ...]:
+        """Keys of every intact artifact on disk, sorted."""
+        found = []
+        for path in self._artifacts.glob("*.ckpt"):
+            try:
+                with open(path, "rb") as handle:
+                    if handle.read(len(_MAGIC)) != _MAGIC:
+                        continue
+                    header = handle.readline()
+                meta = json.loads(header)
+                found.append(meta["key"])
+            except Exception:  # noqa: BLE001 — skip damaged files
+                continue
+        return tuple(sorted(found))
+
+    def sub(self, prefix: str) -> "StoreView":
+        """A view of this store under ``prefix.`` (namespaced keys)."""
+        return StoreView(self, prefix)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunStore({str(self._root)!r}, run_id={self.run_id!r}, "
+            f"stages={len(self._manifest['stages'])})"
+        )
+
+
+class StoreView:
+    """A key-prefixed view of a :class:`RunStore`.
+
+    Carries the same save/load/delete/keys surface, so execution
+    layers take "a checkpoint store" without caring whether it is the
+    root store or a namespace of one.
+    """
+
+    def __init__(self, store: RunStore, prefix: str) -> None:
+        self._store = store
+        self._prefix = prefix.rstrip(".") + "."
+
+    @property
+    def tracer(self):
+        return self._store.tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._store.tracer = tracer
+
+    def save(self, key: str, value) -> dict:
+        return self._store.save(self._prefix + key, value)
+
+    def load(self, key: str):
+        return self._store.load(self._prefix + key)
+
+    def delete(self, key: str) -> None:
+        self._store.delete(self._prefix + key)
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(
+            key[len(self._prefix):]
+            for key in self._store.keys()
+            if key.startswith(self._prefix)
+        )
+
+    def sub(self, prefix: str) -> "StoreView":
+        return StoreView(self._store, self._prefix + prefix)
+
+    def __repr__(self) -> str:
+        return f"StoreView({self._store!r}, prefix={self._prefix!r})"

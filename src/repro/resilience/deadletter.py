@@ -14,6 +14,7 @@ through JSON so CI can ship it as an artifact.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -90,17 +91,56 @@ class DeadLetterLog:
     Merges across workers and runs like the obs collection protocol
     (:meth:`merge`), and serializes losslessly for JSON-able items
     (:meth:`to_json` / :meth:`from_json`).
+
+    When constructed with ``path``, the log is *durable*: every
+    :meth:`add` appends the entry as one JSON line to that file via a
+    single write followed by flush+fsync, so quarantined work survives
+    the driver dying right after the quarantine decision. A process
+    killed mid-write can at worst leave one torn trailing line, which
+    :meth:`from_jsonl` skips. Entries passed to the constructor (or
+    :meth:`restore`) are assumed already persisted and are not
+    re-written.
     """
 
-    def __init__(self, entries: Iterable[DeadLetterEntry] = ()) -> None:
+    def __init__(
+        self,
+        entries: Iterable[DeadLetterEntry] = (),
+        path: str | None = None,
+    ) -> None:
         self._entries: list[DeadLetterEntry] = list(entries)
+        self._path = path
+
+    @property
+    def path(self) -> str | None:
+        """The durable JSONL sink, if any."""
+        return self._path
+
+    def _append_durable(self, entry: DeadLetterEntry) -> None:
+        line = json.dumps(
+            entry.to_dict(), sort_keys=True, ensure_ascii=False
+        )
+        # One write() call for the whole line keeps the append atomic
+        # under O_APPEND; fsync makes it durable before we return.
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def add(self, entry: DeadLetterEntry) -> None:
         self._entries.append(entry)
+        if self._path is not None:
+            self._append_durable(entry)
+
+    def restore(self, entries: Iterable[DeadLetterEntry]) -> None:
+        """Re-attach already-persisted entries (checkpoint replay)
+        without re-appending them to the durable sink."""
+        self._entries.extend(entries)
 
     def merge(self, other: "DeadLetterLog") -> None:
-        """Append every entry of ``other`` (in order)."""
-        self._entries.extend(other._entries)
+        """Append every entry of ``other`` (in order), durably when
+        this log has a sink."""
+        for entry in other._entries:
+            self.add(entry)
 
     @property
     def entries(self) -> tuple[DeadLetterEntry, ...]:
@@ -148,3 +188,25 @@ class DeadLetterLog:
     @classmethod
     def from_json(cls, text: str) -> "DeadLetterLog":
         return cls.from_dicts(json.loads(text))
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per line (the durable sink format)."""
+        return "".join(
+            json.dumps(e.to_dict(), sort_keys=True, ensure_ascii=False)
+            + "\n"
+            for e in self._entries
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "DeadLetterLog":
+        """Parse a JSONL sink, skipping a torn (crash-cut) last line."""
+        entries = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(DeadLetterEntry.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                continue
+        return cls(entries)

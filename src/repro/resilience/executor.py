@@ -32,6 +32,7 @@ stalled chunk.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
@@ -72,6 +73,7 @@ class ResilientOutcome:
     n_attempts: int = 0
     n_retries: int = 0
     n_bisections: int = 0
+    replayed_chunks: int = 0
 
     @property
     def quarantined_items(self) -> tuple:
@@ -103,6 +105,15 @@ class ResilientChunkExecutor:
     scope:
         Names the execution layer in dead-letter entries and span
         attributes (``"engine.chunk"``, ``"mapreduce.key"``).
+    checkpoint:
+        An optional checkpoint store (a
+        :class:`repro.recovery.RunStore` or a view of one). When set,
+        each completed top-level chunk — its result units, its
+        dead-letter entries, whether it was fully clean — is durably
+        saved under ``chunk.{index}``, and a later run over the same
+        chunk list replays saved chunks instead of recomputing them. A
+        per-chunk content signature guards against replaying another
+        workload's chunks.
     """
 
     def __init__(
@@ -110,12 +121,22 @@ class ResilientChunkExecutor:
         config: ResilienceConfig,
         tracer=None,
         scope: str = "engine.chunk",
+        checkpoint=None,
     ) -> None:
         self._config = config
         self._clock = config.clock or SystemClock()
         self._sleep = config.sleep or time.sleep
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._scope = scope
+        self._checkpoint = checkpoint
+        # Route the store's recovery.* counters into this run's tracer
+        # unless the caller already bound one.
+        if (
+            checkpoint is not None
+            and self._tracer is not NULL_TRACER
+            and getattr(checkpoint, "tracer", None) is NULL_TRACER
+        ):
+            checkpoint.tracer = self._tracer
 
     def run(
         self,
@@ -131,7 +152,12 @@ class ResilientChunkExecutor:
         retryable failure.
         """
         tracer = self._tracer
-        outcome = ResilientOutcome(n_chunks=len(chunks))
+        outcome = ResilientOutcome(
+            n_chunks=len(chunks),
+            dead_letters=DeadLetterLog(
+                path=self._config.dead_letter_path
+            ),
+        )
         started = self._clock.now()
         deadline_at = (
             started + self._config.deadline
@@ -145,10 +171,16 @@ class ResilientChunkExecutor:
             n_chunks=len(chunks),
         ) as span:
             for index, chunk in enumerate(chunks):
+                items = list(chunk)
+                if self._replay(index, items, outcome):
+                    tracer.gauge("resilience.chunks_done").set(index + 1)
+                    continue
+                n_units = len(outcome.results)
+                n_dead = len(outcome.dead_letters)
                 fully_ok = self._recover(
                     str(index),
                     index,
-                    list(chunk),
+                    items,
                     run_attempt,
                     validate,
                     deadline_at,
@@ -156,9 +188,65 @@ class ResilientChunkExecutor:
                 )
                 if fully_ok:
                     outcome.completed_chunks += 1
+                self._persist(index, items, outcome, n_units, n_dead, fully_ok)
                 tracer.gauge("resilience.chunks_done").set(index + 1)
             self._publish(span, outcome)
         return outcome
+
+    # --- checkpointing -----------------------------------------------
+
+    @staticmethod
+    def _signature(items: list) -> str:
+        """Content signature tying a checkpoint to its exact workload."""
+        return hashlib.sha256(repr(items).encode("utf-8")).hexdigest()
+
+    def _replay(self, index: int, items: list, outcome) -> bool:
+        """Restore chunk ``index`` from the checkpoint store, if saved.
+
+        A signature mismatch (different items at this position) or a
+        corrupt artifact falls through to recomputation — a stale or
+        damaged checkpoint can cost time, never correctness.
+        """
+        if self._checkpoint is None:
+            return False
+        saved = self._checkpoint.load(f"chunk.{index}")
+        if saved is None:
+            return False
+        if saved.get("signature") != self._signature(items):
+            self._tracer.counter("recovery.signature_mismatch").inc()
+            return False
+        outcome.results.extend(saved["units"])
+        # Replayed dead letters were already persisted by the killed
+        # run; restore() re-attaches them without re-appending to the
+        # durable sink.
+        outcome.dead_letters.restore(saved["dead"])
+        if saved["fully_ok"]:
+            outcome.completed_chunks += 1
+        outcome.replayed_chunks += 1
+        self._tracer.counter("recovery.chunks_replayed").inc()
+        return True
+
+    def _persist(
+        self,
+        index: int,
+        items: list,
+        outcome,
+        n_units: int,
+        n_dead: int,
+        fully_ok: bool,
+    ) -> None:
+        """Durably checkpoint what chunk ``index`` just produced."""
+        if self._checkpoint is None:
+            return
+        self._checkpoint.save(
+            f"chunk.{index}",
+            {
+                "signature": self._signature(items),
+                "units": outcome.results[n_units:],
+                "dead": list(outcome.dead_letters.entries[n_dead:]),
+                "fully_ok": fully_ok,
+            },
+        )
 
     # --- recovery ----------------------------------------------------
 
@@ -326,6 +414,7 @@ class ResilientChunkExecutor:
         ):
             tracer.counter(name).inc(0)
         span.set("completed_chunks", outcome.completed_chunks)
+        span.set("replayed_chunks", outcome.replayed_chunks)
         span.set("n_attempts", outcome.n_attempts)
         span.set("n_retries", outcome.n_retries)
         span.set("n_bisections", outcome.n_bisections)

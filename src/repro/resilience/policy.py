@@ -16,6 +16,7 @@ and assert *exact* schedules.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Literal
 
@@ -163,16 +164,36 @@ class RetryPolicy:
     jitter: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ConfigurationError("max_attempts must be >= 1")
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be an integer >= 1, "
+                f"got {self.max_attempts!r}"
+            )
+        for name in ("base_delay", "multiplier", "max_delay", "jitter"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or not math.isfinite(
+                value
+            ):
+                raise ConfigurationError(
+                    f"{name} must be a finite number, got {value!r}"
+                )
         if self.base_delay < 0:
-            raise ConfigurationError("base_delay must be >= 0")
+            raise ConfigurationError(
+                f"base_delay must be >= 0, got {self.base_delay!r}"
+            )
         if self.multiplier < 1.0:
-            raise ConfigurationError("multiplier must be >= 1")
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier!r}"
+            )
         if self.max_delay < self.base_delay:
-            raise ConfigurationError("max_delay must be >= base_delay")
+            raise ConfigurationError(
+                f"max_delay (the backoff cap, {self.max_delay!r}) must "
+                f"be >= base_delay ({self.base_delay!r})"
+            )
         if not 0.0 <= self.jitter <= 1.0:
-            raise ConfigurationError("jitter must be in [0, 1]")
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter!r}"
+            )
 
     def delay(self, attempt: int, salt: str = "") -> float:
         """Backoff before retrying after failed ``attempt`` (1-based)."""
@@ -210,6 +231,11 @@ class ResilienceConfig:
     by the process backend — a serial chunk cannot be interrupted, so
     serial timeouts fire only for injected hangs); ``deadline`` bounds
     the whole run as measured on the injected clock.
+
+    ``dead_letter_path``, when set, makes every quarantine durable: the
+    executor's :class:`~repro.resilience.deadletter.DeadLetterLog`
+    appends each entry to that JSONL file with flush+fsync as it is
+    written, so quarantined work survives process death mid-run.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -219,6 +245,7 @@ class ResilienceConfig:
     clock: object | None = None
     sleep: Callable[[float], None] | None = None
     fault_injector: object | None = None
+    dead_letter_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.failure not in FAILURE_POLICIES:
@@ -226,7 +253,27 @@ class ResilienceConfig:
                 f"unknown failure policy {self.failure!r}; "
                 f"expected one of {FAILURE_POLICIES}"
             )
-        if self.timeout is not None and self.timeout <= 0:
-            raise ConfigurationError("timeout must be > 0")
-        if self.deadline is not None and self.deadline <= 0:
-            raise ConfigurationError("deadline must be > 0")
+        for name in ("timeout", "deadline"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, (int, float)) or not math.isfinite(
+                value
+            ):
+                raise ConfigurationError(
+                    f"{name} must be a finite number, got {value!r}"
+                )
+            if value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be > 0, got {value!r}"
+                )
+        if (
+            self.timeout is not None
+            and self.deadline is not None
+            and self.deadline < self.timeout
+        ):
+            raise ConfigurationError(
+                f"deadline ({self.deadline!r}) must be >= the "
+                f"per-attempt timeout ({self.timeout!r}); no attempt "
+                "could ever finish inside the run budget"
+            )

@@ -21,6 +21,13 @@ Fault kinds
 - ``"garbage"`` — replaces the attempt's result with ``payload``
   (default ``None``), exercising result-shape validation (a corrupted
   response).
+- ``"kill"``    — terminates the *driver process itself* via
+  ``os._exit(137)``: no stack unwinding, no ``finally`` blocks, no
+  atexit hooks — the faithful model of an OOM kill, a ``kill -9``, or
+  a node loss mid-run. Only checkpointing
+  (:mod:`repro.recovery`) survives it; pair with a
+  :class:`~repro.recovery.RunStore` and resume the run in a fresh
+  process.
 
 Targeting composes: ``chunk`` matches the top-level chunk index,
 ``item`` matches any chunk *containing* that item (which is how a
@@ -47,6 +54,7 @@ downstream users can chaos-test their own deployments the same way::
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -57,12 +65,19 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "FaultSpec",
+    "KILL_EXIT_CODE",
     "crash",
     "garbage",
     "hang",
+    "kill",
 ]
 
-FAULT_KINDS: tuple[str, ...] = ("crash", "hang", "garbage")
+FAULT_KINDS: tuple[str, ...] = ("crash", "hang", "garbage", "kill")
+
+#: Exit status used by ``kind="kill"`` — the conventional status of a
+#: process terminated by SIGKILL (128 + 9), so resume harnesses can
+#: distinguish an injected kill from an ordinary crash.
+KILL_EXIT_CODE = 137
 
 
 def _normalize_attempts(attempts) -> frozenset | None:
@@ -132,6 +147,22 @@ def hang(
     return FaultSpec("hang", chunk, item, attempts, max_fires)
 
 
+def kill(
+    chunk: int | None = None,
+    item: object | None = None,
+    attempts=None,
+    max_fires: int | None = None,
+) -> FaultSpec:
+    """A process-kill rule: the driver dies hard via ``os._exit``.
+
+    Unlike ``crash`` this is unrecoverable in-process — the run ends
+    instantly with exit status :data:`KILL_EXIT_CODE` and must be
+    resumed from its checkpoints in a fresh process. Use only inside a
+    sacrificial subprocess (see ``tests/recovery_driver.py``).
+    """
+    return FaultSpec("kill", chunk, item, attempts, max_fires)
+
+
 def garbage(
     chunk: int | None = None,
     item: object | None = None,
@@ -183,10 +214,16 @@ class FaultInjector:
         return None
 
     def on_attempt(self, chunk_index: int, items, attempt: int) -> None:
-        """Raise the configured crash/hang for this attempt, if any."""
-        spec = self._fire(("crash", "hang"), chunk_index, items, attempt)
+        """Raise the configured crash/hang — or kill the process —
+        for this attempt, if any rule fires."""
+        spec = self._fire(
+            ("crash", "hang", "kill"), chunk_index, items, attempt
+        )
         if spec is None:
             return
+        if spec.kind == "kill":
+            # Hard death: no unwinding, no cleanup. Models SIGKILL.
+            os._exit(KILL_EXIT_CODE)
         if spec.kind == "crash":
             raise InjectedCrash(
                 f"injected crash: chunk {chunk_index} attempt {attempt}"

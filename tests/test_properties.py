@@ -332,3 +332,112 @@ class TestResilienceInvariants:
         assert run.match_pairs <= clean.match_pairs
         missing = clean.match_pairs - run.match_pairs
         assert missing <= {frozenset(pair) for pair in poison}
+
+
+# --- recovery invariants ---------------------------------------------
+
+
+@st.composite
+def kill_plans(draw):
+    """A workload plus an arbitrary kill point: the chunk size and the
+    chunk index at which the run dies mid-flight."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    records = [
+        Record(
+            f"r{index}",
+            f"s{index % 2}",
+            {"name": draw(short_word), "color": draw(short_word)},
+        )
+        for index in range(n)
+    ]
+    ids = [record.record_id for record in records]
+    pairs = [
+        (ids[i], ids[j])
+        for i in range(len(ids))
+        for j in range(i + 1, len(ids))
+    ]
+    chunk_size = draw(st.integers(min_value=2, max_value=6))
+    n_chunks = math.ceil(len(pairs) / chunk_size)
+    kill_chunk = draw(st.integers(min_value=0, max_value=n_chunks - 1))
+    return records, pairs, chunk_size, kill_chunk
+
+
+class TestRecoveryInvariants:
+    """Resume idempotence: for *any* workload and *any* kill point, a
+    run aborted at a chunk boundary and resumed from its checkpoints
+    produces exactly the output of a single uninterrupted run."""
+
+    @staticmethod
+    def _engine(chunk_size, execution="serial", resilience=None,
+                checkpoint=None):
+        from repro.linkage import (
+            FieldComparator,
+            ParallelComparisonEngine,
+            RecordComparator,
+        )
+        from repro.text import exact_similarity
+
+        comparator = RecordComparator(
+            fields=[
+                FieldComparator("name", exact_similarity, weight=2.0),
+                FieldComparator("color", exact_similarity, weight=1.0),
+            ]
+        )
+        return ParallelComparisonEngine(
+            comparator,
+            execution=execution,
+            n_workers=1 if execution == "serial" else 2,
+            chunk_size=chunk_size,
+            resilience=resilience,
+            checkpoint=checkpoint,
+        )
+
+    def _check_resume_equals_single_run(self, plan, execution):
+        import tempfile
+
+        from repro.linkage import ThresholdClassifier
+        from repro.recovery import RunStore
+        from repro.resilience import (
+            ChunkExecutionError,
+            ResilienceConfig,
+            RetryPolicy,
+        )
+        from repro.resilience.testing import FaultInjector, crash
+
+        records, pairs, chunk_size, kill_chunk = plan
+        classifier = ThresholdClassifier(0.9)
+        single = self._engine(chunk_size, execution).match_pairs(
+            records, pairs, classifier
+        )
+        with tempfile.TemporaryDirectory() as root:
+            # The "kill": abort hard at the chosen chunk, leaving only
+            # the chunks completed before it checkpointed.
+            abort = ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+                failure="fail",
+                fault_injector=FaultInjector(crash(chunk=kill_chunk)),
+            )
+            with pytest.raises(ChunkExecutionError):
+                self._engine(
+                    chunk_size,
+                    execution,
+                    resilience=abort,
+                    checkpoint=RunStore(root),
+                ).match_pairs(records, pairs, classifier)
+            resumed = self._engine(
+                chunk_size, execution, checkpoint=RunStore(root)
+            ).match_pairs(records, pairs, classifier)
+        assert resumed.match_pairs == single.match_pairs
+        assert resumed.scored_edges == single.scored_edges
+        assert resumed.completed_chunks == resumed.n_chunks
+
+    @given(plan=kill_plans())
+    @settings(max_examples=25, deadline=None)
+    def test_resume_equals_single_run_serial(self, plan):
+        self._check_resume_equals_single_run(plan, "serial")
+
+    @pytest.mark.slow
+    @given(plan=kill_plans())
+    @settings(max_examples=5, deadline=None)
+    def test_resume_equals_single_run_process(self, plan):
+        self._check_resume_equals_single_run(plan, "process")
