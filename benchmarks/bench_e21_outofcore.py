@@ -1,0 +1,251 @@
+"""E21 — out-of-core linkage: throughput and memory under a budget.
+
+The streaming path of :func:`repro.linkage.resolve` trades disk spills
+for bounded resident memory while promising byte-identical output.
+This experiment measures what that trade costs on the standard linkage
+corpus, across three modes:
+
+* **in-memory** — the unbounded reference path (E20's early-exit
+  engine behind the scenes);
+* **stream-roomy** — the streaming path under a budget large enough
+  that nothing spills (pure bookkeeping overhead);
+* **stream-tight** — the streaming path under a budget far below the
+  working set, forcing heavy spill traffic on every stage.
+
+Every mode must produce identical clusters and match pairs — asserted
+here. Each streaming row also reports the peak tracked bytes and the
+spill traffic, which is the point of the experiment: tight-budget runs
+should show peak <= budget while in-memory tracking is unbounded.
+
+Machine-readable results land in ``BENCH_outofcore.json`` at the repo
+root so future PRs have a perf trajectory.
+
+Run standalone (no pytest-benchmark kernel) with::
+
+    PYTHONPATH=src python benchmarks/bench_e21_outofcore.py --no-bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_common import emit, linkage_corpus, render_table
+
+from repro.linkage import (
+    ThresholdClassifier,
+    TokenBlocker,
+    default_product_comparator,
+    resolve,
+)
+from repro.outofcore import MemoryBudget
+
+THRESHOLD = 0.7
+TIGHT_BUDGET = 48 * 1024
+ROOMY_BUDGET = 1 << 30
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_outofcore.json"
+
+
+def _corpus(n_entities: int, n_sources: int):
+    dataset = linkage_corpus(n_entities=n_entities, n_sources=n_sources)
+    return list(dataset.records())
+
+
+def _stages():
+    return (
+        TokenBlocker(max_block_size=60),
+        default_product_comparator(),
+        ThresholdClassifier(THRESHOLD),
+    )
+
+
+def _run_modes(records):
+    """Time in-memory vs streaming resolve over the same corpus."""
+    blocker, comparator, classifier = _stages()
+    results = []
+    outputs = {}
+
+    def record_mode(name, seconds, result, budget=None):
+        results.append(
+            {
+                "mode": name,
+                "n_pairs": result.n_candidates,
+                "seconds": round(seconds, 4),
+                "pairs_per_sec": round(result.n_candidates / seconds, 1)
+                if seconds
+                else float("inf"),
+                "peak_tracked_bytes": budget.peak if budget else None,
+                "spill_count": budget.spill_count if budget else 0,
+                "spill_bytes": budget.spill_bytes if budget else 0,
+            }
+        )
+        outputs[name] = (result.clusters, result.match_pairs)
+
+    start = time.perf_counter()
+    reference = resolve(records, blocker, comparator, classifier)
+    record_mode("in-memory", time.perf_counter() - start, reference)
+
+    for name, limit in (
+        ("stream-roomy", ROOMY_BUDGET),
+        ("stream-tight", TIGHT_BUDGET),
+    ):
+        with tempfile.TemporaryDirectory(prefix="repro-bench-spill-") as root:
+            budget = MemoryBudget(limit)
+            start = time.perf_counter()
+            streamed = resolve(
+                records,
+                blocker,
+                comparator,
+                classifier,
+                memory_budget=budget,
+                spill_dir=root,
+            )
+            record_mode(
+                name, time.perf_counter() - start, streamed, budget
+            )
+
+    baseline = results[0]["pairs_per_sec"]
+    for row in results:
+        row["relative_throughput"] = round(
+            row["pairs_per_sec"] / baseline, 2
+        )
+    return results, outputs
+
+
+def _rows(results):
+    return [
+        [
+            row["mode"],
+            row["n_pairs"],
+            row["seconds"],
+            row["pairs_per_sec"],
+            row["relative_throughput"],
+            row["peak_tracked_bytes"] or "-",
+            row["spill_count"],
+        ]
+        for row in results
+    ]
+
+
+HEADERS = [
+    "mode", "pairs", "seconds", "pairs/sec", "rel", "peak B", "spills"
+]
+
+
+def _check_outputs(outputs):
+    reference = outputs["in-memory"]
+    for name, found in outputs.items():
+        if found != reference:
+            raise SystemExit(f"{name} changed the linkage output")
+
+
+def _write_json(results, n_entities, n_sources, path=RESULT_PATH):
+    payload = {
+        "experiment": "E21 out-of-core linkage",
+        "corpus": {
+            "n_entities": n_entities,
+            "n_sources": n_sources,
+            "categories": ["camera", "notebook"],
+        },
+        "threshold": THRESHOLD,
+        "tight_budget_bytes": TIGHT_BUDGET,
+        "unix_time": round(time.time(), 1),
+        "modes": results,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+NOTE = (
+    "Expected shape: stream-roomy within ~2x of in-memory (bounded "
+    "caches, no spills); stream-tight slower but peak tracked bytes "
+    "<= the budget with nonzero spill traffic. All modes byte-identical."
+)
+
+
+def bench_e21_outofcore(benchmark, capsys):
+    n_entities, n_sources = 60, 12
+    records = _corpus(n_entities, n_sources)
+    results, outputs = _run_modes(records)
+    _check_outputs(outputs)
+    by_mode = {row["mode"]: row for row in results}
+    assert by_mode["stream-tight"]["peak_tracked_bytes"] <= TIGHT_BUDGET
+    assert by_mode["stream-tight"]["spill_count"] > 0
+    assert by_mode["stream-roomy"]["spill_count"] == 0
+
+    blocker, comparator, classifier = _stages()
+
+    def kernel():
+        with tempfile.TemporaryDirectory() as root:
+            return resolve(
+                records, blocker, comparator, classifier,
+                memory_budget=MemoryBudget(TIGHT_BUDGET), spill_dir=root,
+            )
+
+    benchmark(kernel)
+    _write_json(results, n_entities, n_sources)
+    emit(
+        capsys,
+        "E21: out-of-core linkage — streamed vs in-memory "
+        f"(tight budget {TIGHT_BUDGET} B)",
+        HEADERS,
+        _rows(results),
+        note=NOTE,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="table-only mode (this entry point never runs the "
+        "pytest-benchmark kernel anyway)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus smoke run; does not overwrite "
+        "BENCH_outofcore.json",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="where to write machine-readable results "
+        "(default: BENCH_outofcore.json at the repo root; "
+        "--quick writes nowhere unless --json is given)",
+    )
+    args = parser.parse_args(argv)
+
+    n_entities, n_sources = (20, 6) if args.quick else (60, 12)
+    records = _corpus(n_entities, n_sources)
+    results, outputs = _run_modes(records)
+    _check_outputs(outputs)
+
+    path = args.json
+    if path is None and not args.quick:
+        path = RESULT_PATH
+    if path is not None:
+        _write_json(results, n_entities, n_sources, path)
+        print(f"results -> {path}")
+
+    print(
+        render_table(
+            HEADERS,
+            _rows(results),
+            title="E21: out-of-core linkage — streamed vs in-memory "
+            f"({n_entities} entities x {n_sources} sources, tight "
+            f"budget {TIGHT_BUDGET} B)",
+        )
+    )
+    print(NOTE)
+
+
+if __name__ == "__main__":
+    main()

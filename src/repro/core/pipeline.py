@@ -178,7 +178,12 @@ class BDIPipeline:
         return value
 
     def run(
-        self, dataset: Dataset, tracer=None, checkpoint=None
+        self,
+        dataset: Dataset,
+        tracer=None,
+        checkpoint=None,
+        memory_budget: int | None = None,
+        spill_dir=None,
     ) -> PipelineResult:
         """Execute the full pipeline over ``dataset``.
 
@@ -201,6 +206,18 @@ class BDIPipeline:
         to a fingerprint of this exact config and dataset; resuming
         under a different one raises
         :class:`repro.recovery.CheckpointMismatchError`.
+
+        ``memory_budget`` (estimated bytes, default off) runs the
+        pipeline out of core: blocking indexes, candidate pairs, and
+        grouped claims spill to sorted runs under ``spill_dir`` (a
+        directory, a :class:`repro.recovery.RunStore`, or ``None`` for
+        a temporary directory) whenever tracked resident bytes would
+        exceed the budget, and linkage plus fusion consume the spilled
+        streams. Output is byte-identical to the unbounded run;
+        :attr:`PipelineResult.claims` then carries a
+        :class:`repro.outofcore.ClaimStreamSummary` instead of the full
+        claim set. Requires the ``threshold`` classifier and ``vote``
+        or ``accuvote`` fusion (the streaming paths that exist today).
         """
         from repro.fusion import (
             AccuCopy,
@@ -228,6 +245,37 @@ class BDIPipeline:
         config = self._config
         records = list(dataset.records())
         store = self._open_store(checkpoint, dataset, tracer)
+
+        budget = spill_store = spill_temp = None
+        if memory_budget is not None:
+            if config.classifier != "threshold":
+                raise ConfigurationError(
+                    "memory_budget requires the threshold classifier"
+                )
+            if config.fusion not in {"vote", "accuvote"}:
+                raise ConfigurationError(
+                    "memory_budget supports only vote/accuvote fusion, "
+                    f"not {config.fusion!r}"
+                )
+            if config.numeric_fusion:
+                raise ConfigurationError(
+                    "numeric_fusion is not supported with memory_budget"
+                )
+            import tempfile
+
+            from repro.outofcore import MemoryBudget
+            from repro.recovery import RunStore
+
+            budget = MemoryBudget(memory_budget, tracer=tracer)
+            if spill_dir is None:
+                spill_temp = tempfile.TemporaryDirectory(
+                    prefix="repro-spill-"
+                )
+                spill_store = RunStore(spill_temp.name, durable=False)
+            elif hasattr(spill_dir, "save_stream"):
+                spill_store = spill_dir
+            else:
+                spill_store = RunStore(spill_dir, durable=False)
 
         def sub(prefix: str):
             """An intra-stage checkpoint namespace (None when off)."""
@@ -315,6 +363,12 @@ class BDIPipeline:
                         tracer=tracer,
                         resilience=config.resilience,
                         checkpoint=sub("linkage.engine"),
+                        memory_budget=budget,
+                        spill_dir=(
+                            spill_store.sub("linkage")
+                            if spill_store is not None
+                            else None
+                        ),
                     )
                     clusters = linkage.clusters
                     if config.use_identifier_linkage:
@@ -355,75 +409,127 @@ class BDIPipeline:
                 tracer.counter("pipeline.clusters").inc(len(clusters))
 
             # 3. Claims: one claim per (source, cluster, mediated
-            #    attribute), values canonicalized so format variants agree.
-            with tracer.span("pipeline.claims") as span:
+            #    attribute), values canonicalized so format variants
+            #    agree. Memory-bounded runs spill grouped claims
+            #    instead of materializing a ClaimSet and stream fusion
+            #    over the groups — identical fused output.
+            cluster_of: dict[str, str] = {}
+            for cluster in clusters:
+                cluster_id = min(cluster)
+                for record_id in cluster:
+                    cluster_of[record_id] = cluster_id
 
-                def compute_claims():
-                    claim_set = ClaimSet()
-                    cluster_of: dict[str, str] = {}
-                    for cluster in clusters:
-                        cluster_id = min(cluster)
-                        for record_id in cluster:
-                            cluster_of[record_id] = cluster_id
-                    seen: set[tuple[str, str]] = set()
+            if budget is None:
+                with tracer.span("pipeline.claims") as span:
+
+                    def compute_claims():
+                        claim_set = ClaimSet()
+                        seen: set[tuple[str, str]] = set()
+                        for record in records:
+                            cluster_id = cluster_of[record.record_id]
+                            translated = schema.translate(record)
+                            for attribute, value in translated.items():
+                                item_id = f"{cluster_id}::{attribute}"
+                                key = (record.source_id, item_id)
+                                if key in seen:
+                                    continue
+                                seen.add(key)
+                                claim_set.add(
+                                    Claim(
+                                        record.source_id,
+                                        item_id,
+                                        canonical_value(value),
+                                    )
+                                )
+                        return claim_set
+
+                    claim_set = self._stage(
+                        store, "claims", compute_claims, span
+                    )
+                    span.set("n_claims", len(claim_set))
+                    span.set("n_items", len(claim_set.items()))
+
+                # 4. Fusion. Fusers are built lazily so only the
+                #    selected algorithm is constructed (and wired to
+                #    the solver's iteration checkpoint when resumable).
+                with tracer.span(
+                    "pipeline.fusion", algorithm=config.fusion
+                ) as span:
+
+                    def compute_fusion():
+                        fusers = {
+                            "vote": lambda: VotingFuser(),
+                            "truthfinder": lambda: TruthFinder(
+                                tracer=tracer,
+                                checkpoint=sub("fusion.solver"),
+                            ),
+                            "accuvote": lambda: AccuVote(
+                                n_false_values=config.n_false_values
+                            ),
+                            "accucopy": lambda: AccuCopy(
+                                n_false_values=config.n_false_values,
+                                tracer=tracer,
+                                checkpoint=sub("fusion.solver"),
+                            ),
+                        }
+                        fusion = fusers[config.fusion]().fuse(claim_set)
+                        if config.numeric_fusion:
+                            fusion = self._refuse_numeric_items(
+                                claim_set, fusion
+                            )
+                        return fusion
+
+                    fusion = self._stage(
+                        store, "fusion", compute_fusion, span
+                    )
+                    span.set("iterations", fusion.iterations)
+            else:
+                from repro.outofcore import (
+                    SpillableClaimGroups,
+                    stream_accuvote,
+                    stream_voting,
+                )
+
+                with tracer.span(
+                    "pipeline.claims", streaming=True
+                ) as span:
+                    groups = SpillableClaimGroups(
+                        spill_store.sub("claims"), budget
+                    )
                     for record in records:
                         cluster_id = cluster_of[record.record_id]
                         translated = schema.translate(record)
                         for attribute, value in translated.items():
-                            item_id = f"{cluster_id}::{attribute}"
-                            key = (record.source_id, item_id)
-                            if key in seen:
-                                continue
-                            seen.add(key)
-                            claim_set.add(
-                                Claim(
-                                    record.source_id,
-                                    item_id,
-                                    canonical_value(value),
-                                )
+                            groups.add(
+                                record.source_id,
+                                f"{cluster_id}::{attribute}",
+                                canonical_value(value),
                             )
-                    return claim_set
+                    claim_set = groups.summary()
+                    span.set("n_claims", groups.n_claims)
+                    span.set("n_items", groups.n_items)
 
-                claim_set = self._stage(
-                    store, "claims", compute_claims, span
-                )
-                span.set("n_claims", len(claim_set))
-                span.set("n_items", len(claim_set.items()))
+                with tracer.span(
+                    "pipeline.fusion",
+                    algorithm=config.fusion,
+                    streaming=True,
+                ) as span:
 
-            # 4. Fusion. Fusers are built lazily so only the selected
-            #    algorithm is constructed (and wired to the solver's
-            #    iteration checkpoint when resumable).
-            with tracer.span(
-                "pipeline.fusion", algorithm=config.fusion
-            ) as span:
-
-                def compute_fusion():
-                    fusers = {
-                        "vote": lambda: VotingFuser(),
-                        "truthfinder": lambda: TruthFinder(
-                            tracer=tracer,
-                            checkpoint=sub("fusion.solver"),
-                        ),
-                        "accuvote": lambda: AccuVote(
-                            n_false_values=config.n_false_values
-                        ),
-                        "accucopy": lambda: AccuCopy(
+                    def compute_fusion():
+                        if config.fusion == "vote":
+                            return stream_voting(groups)
+                        return stream_accuvote(
+                            groups,
+                            spill_store.sub("fusion"),
+                            budget,
                             n_false_values=config.n_false_values,
-                            tracer=tracer,
-                            checkpoint=sub("fusion.solver"),
-                        ),
-                    }
-                    fusion = fusers[config.fusion]().fuse(claim_set)
-                    if config.numeric_fusion:
-                        fusion = self._refuse_numeric_items(
-                            claim_set, fusion
                         )
-                    return fusion
 
-                fusion = self._stage(
-                    store, "fusion", compute_fusion, span
-                )
-                span.set("iterations", fusion.iterations)
+                    fusion = self._stage(
+                        store, "fusion", compute_fusion, span
+                    )
+                    span.set("iterations", fusion.iterations)
+                groups.release()
 
             # 5. Entity table.
             with tracer.span("pipeline.entity_table") as span:
@@ -447,9 +553,15 @@ class BDIPipeline:
             tracer.counter("pipeline.records").inc(len(records))
             run_span.set("n_clusters", len(clusters))
             observe_text_caches(tracer)
+            if budget is not None:
+                budget.publish()
+                run_span.set("peak_tracked_bytes", budget.peak)
+                run_span.set("spill_count", budget.spill_count)
             if store is not None:
                 store.mark_complete()
 
+        if spill_temp is not None:
+            spill_temp.cleanup()
         return PipelineResult(
             schema=schema,
             linkage=linkage,

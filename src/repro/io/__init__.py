@@ -1,12 +1,20 @@
-"""Persistence: JSONL datasets and CSV claim/truth files."""
+"""Persistence: JSONL datasets, CSV claim/truth files, record streams."""
 
 from repro.io.claims_csv import load_claims, load_truth, save_claims, save_truth
 from repro.io.jsonl import load_dataset, save_dataset
+from repro.io.stream import (
+    JsonlRecordStream,
+    RecordStream,
+    open_record_stream,
+)
 
 __all__ = [
+    "JsonlRecordStream",
+    "RecordStream",
     "load_claims",
     "load_dataset",
     "load_truth",
+    "open_record_stream",
     "save_claims",
     "save_dataset",
     "save_truth",

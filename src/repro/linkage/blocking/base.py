@@ -122,6 +122,28 @@ class Blocker:
     def block(self, records: Sequence[Record]) -> BlockCollection:
         raise NotImplementedError
 
+    def stream_blocks(self, records: Iterable[Record], spill) -> Iterator[Block]:
+        """Stream blocks with bounded resident memory.
+
+        ``records`` is any (re-)iterable of records — a list or a
+        :class:`repro.io.RecordStream` — consumed in one pass;
+        ``spill`` is a :class:`repro.outofcore.SpillSession` carrying
+        the spill store and memory budget. Blockers with an
+        out-of-core path override this and must yield **exactly** the
+        blocks :meth:`block` would produce over the same records, in
+        the same order. The base raises so callers can detect (via
+        :attr:`supports_streaming`) and refuse rather than silently
+        materialize.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no out-of-core streaming path"
+        )
+
+    @property
+    def supports_streaming(self) -> bool:
+        """Whether this blocker overrides :meth:`stream_blocks`."""
+        return type(self).stream_blocks is not Blocker.stream_blocks
+
     @staticmethod
     def _keys_of(key_function: KeyFunction, record: Record) -> list[str]:
         """Normalize a key function's output to a list of usable keys."""

@@ -9,7 +9,8 @@ far apart.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections import deque
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.record import Record
 from repro.linkage.blocking.base import (
@@ -69,3 +70,31 @@ class SortedNeighborhoodBlocker(Blocker):
                 Block("win000000", tuple(rid for __, rid in keyed))
             )
         return collection
+
+    def stream_blocks(
+        self, records: Iterable[Record], spill
+    ) -> Iterator[Block]:
+        """Out-of-core :meth:`block` via external sort on ``(key, id)``.
+
+        The sorted ``(key, record_id)`` run merge feeds a sliding
+        window of size ``window`` — identical windows (keys and
+        contents) to sorting the full list in memory.
+        """
+        from repro.outofcore.spill import ExternalSorter, entry_nbytes
+
+        sorter = ExternalSorter(spill.scoped(self.name), spill.budget)
+        for record in records:
+            keys = self._keys_of(self._key_function, record)
+            if keys:
+                entry = (keys[0], record.record_id)
+                sorter.add(entry, entry_nbytes(*entry))
+        start = 0
+        window: deque[str] = deque(maxlen=self._window)
+        for __, record_id in sorter.sorted_stream():
+            window.append(record_id)
+            if len(window) == self._window:
+                yield Block(f"win{start:06d}", tuple(window))
+                start += 1
+        if 0 < len(window) < self._window and start == 0:
+            yield Block("win000000", tuple(window))
+        sorter.release()

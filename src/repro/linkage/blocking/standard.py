@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.record import Record
 from repro.linkage.blocking.base import (
+    Block,
     BlockCollection,
     Blocker,
     KeyFunction,
@@ -34,3 +35,17 @@ class StandardBlocker(Blocker):
             for key in self._keys_of(self._key_function, record):
                 by_key[key].append(record.record_id)
         return BlockCollection.from_key_map(by_key)
+
+    def stream_blocks(
+        self, records: Iterable[Record], spill
+    ) -> Iterator[Block]:
+        """Out-of-core :meth:`block`: identical blocks, bounded memory."""
+        from repro.outofcore.spill import SpillableBlockIndex
+
+        index = SpillableBlockIndex(spill.scoped(self.name), spill.budget)
+        for record in records:
+            for key in self._keys_of(self._key_function, record):
+                index.add(key, record.record_id)
+        for key, ids in index.merged():
+            if len(ids) > 1:
+                yield Block(key, tuple(ids))

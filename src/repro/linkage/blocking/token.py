@@ -10,10 +10,10 @@ exists to prune.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.record import Record
-from repro.linkage.blocking.base import BlockCollection, Blocker
+from repro.linkage.blocking.base import Block, BlockCollection, Blocker
 from repro.text.normalize import normalize_value
 from repro.text.tokens import word_tokens
 
@@ -54,3 +54,32 @@ class TokenBlocker(Blocker):
                 if len(ids) <= self._max_block_size
             }
         return BlockCollection.from_key_map(by_token)
+
+    def stream_blocks(
+        self, records: Iterable[Record], spill
+    ) -> Iterator[Block]:
+        """Out-of-core :meth:`block`: identical blocks, bounded memory.
+
+        The ``max_block_size`` filter applies at merge time — only
+        there is a key's full id list known — which is equivalent to
+        the in-memory filter over the complete token map.
+        """
+        from repro.outofcore.spill import SpillableBlockIndex
+
+        index = SpillableBlockIndex(spill.scoped(self.name), spill.budget)
+        for record in records:
+            tokens: set[str] = set()
+            for value in record.attributes.values():
+                for token in word_tokens(normalize_value(value)):
+                    if len(token) >= self._min_token_length:
+                        tokens.add(token)
+            for token in tokens:
+                index.add(token, record.record_id)
+        for token, ids in index.merged():
+            if (
+                self._max_block_size is not None
+                and len(ids) > self._max_block_size
+            ):
+                continue
+            if len(ids) > 1:
+                yield Block(token, tuple(ids))

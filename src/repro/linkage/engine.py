@@ -187,6 +187,132 @@ def _match_chunk(
     return matches, n_early, _chunk_cache_stats(pairs, misses)
 
 
+# --- worker-side paths for the streaming (out-of-core) backend -------
+#
+# Streamed runs cannot ship the whole corpus to workers at pool
+# startup, so the pool is initialized with the comparator only and each
+# chunk carries the records it references; the per-chunk prepared dict
+# plays the cache role, keeping worker residency bounded by chunk size.
+
+
+def _stream_worker_init(comparator: RecordComparator) -> None:
+    _WORKER["comparator"] = comparator
+
+
+def _match_chunk_shipped(
+    args: tuple[list[IdPair], dict[str, Record], float],
+) -> tuple[list[tuple[str, str, float]], int, dict[str, int]]:
+    pairs, records, threshold = args
+    comparator: RecordComparator = _WORKER["comparator"]
+    prepared: dict[str, PreparedRecord] = {}
+
+    def prepared_for(record_id: str) -> PreparedRecord:
+        entry = prepared.get(record_id)
+        if entry is None:
+            entry = comparator.prepare(records[record_id])
+            prepared[record_id] = entry
+        return entry
+
+    matches: list[tuple[str, str, float]] = []
+    n_early = 0
+    for left, right in pairs:
+        bounded = comparator.score_bounded(
+            prepared_for(left),
+            prepared_for(right),
+            threshold,
+            exact_scores=True,
+        )
+        if not bounded.exact:
+            n_early += 1
+        if bounded.is_match:
+            matches.append((left, right, bounded.score))
+    return matches, n_early, _chunk_cache_stats(pairs, len(prepared))
+
+
+def _score_chunk_shipped(
+    args: tuple[list[IdPair], dict[str, Record]],
+) -> tuple[list[ComparisonVector], dict[str, int]]:
+    pairs, records = args
+    comparator: RecordComparator = _WORKER["comparator"]
+    prepared: dict[str, PreparedRecord] = {}
+
+    def prepared_for(record_id: str) -> PreparedRecord:
+        entry = prepared.get(record_id)
+        if entry is None:
+            entry = comparator.prepare(records[record_id])
+            prepared[record_id] = entry
+        return entry
+
+    vectors = [
+        comparator.compare_prepared(prepared_for(left), prepared_for(right))
+        for left, right in pairs
+    ]
+    return vectors, _chunk_cache_stats(pairs, len(prepared))
+
+
+class _BoundedPreparedCache:
+    """An LRU prepared-record cache tracked against a memory budget.
+
+    The serial streaming backend's replacement for the unbounded
+    prepared dict: entries are charged to the shared
+    :class:`repro.outofcore.MemoryBudget` (a small multiple of the raw
+    record payload) and evicted least-recently-used when an insert
+    would exceed it. Without a budget it degrades to an unbounded
+    cache with hit/miss counting.
+    """
+
+    def __init__(
+        self,
+        comparator: RecordComparator,
+        by_id: Mapping[str, Record],
+        budget,
+    ) -> None:
+        from collections import OrderedDict
+
+        self._comparator = comparator
+        self._by_id = by_id
+        self._budget = budget
+        self._cache: "OrderedDict[str, tuple[PreparedRecord, int]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, record_id: str) -> PreparedRecord:
+        entry = self._cache.get(record_id)
+        if entry is not None:
+            self._cache.move_to_end(record_id)
+            self.hits += 1
+            return entry[0]
+        self.misses += 1
+        record = self._by_id[record_id]
+        prepared = self._comparator.prepare(record)
+        cost = 0
+        if self._budget is not None:
+            from repro.outofcore.budget import (
+                PREPARED_RECORD_FACTOR,
+                record_nbytes,
+            )
+
+            cost = PREPARED_RECORD_FACTOR * record_nbytes(record)
+            while self._cache and self._budget.would_exceed(cost):
+                __, (___, old_cost) = self._cache.popitem(last=False)
+                self._budget.remove(old_cost)
+            if self._budget.would_exceed(cost):
+                # Another component holds the remaining budget; serve
+                # the prepared record uncached rather than exceed it.
+                return prepared
+            self._budget.add(cost)
+        self._cache[record_id] = (prepared, cost)
+        return prepared
+
+    def release(self) -> None:
+        if self._budget is not None:
+            for __, cost in self._cache.values():
+                self._budget.remove(cost)
+        self._cache.clear()
+
+
 # --- chunk-result validation (garbage detection) ---------------------
 #
 # The resilient executor runs these after every chunk attempt; a result
@@ -602,6 +728,198 @@ class ParallelComparisonEngine:
             self._execution,
             self._n_workers,
         )
+
+    def match_pairs_stream(
+        self,
+        records: Sequence[Record] | Mapping[str, Record],
+        pairs: Iterable[IdPair],
+        classifier,
+        budget=None,
+    ) -> EngineRun:
+        """Classify a lazily produced pair stream with bounded memory.
+
+        ``pairs`` may be any iterable — typically the sorted-unique
+        merge off a spill (:class:`repro.outofcore.ExternalPairDeduper`)
+        — consumed once, chunked lazily, and never materialized as a
+        list. Output is identical to :meth:`match_pairs` over the same
+        pairs in the same order. ``records`` is usually a lazy mapping
+        (:class:`repro.outofcore.IndexedRecordStore`); the serial
+        backend holds prepared records in an LRU charged to ``budget``
+        (a :class:`repro.outofcore.MemoryBudget`, optional), while the
+        process backend ships each chunk's records with the chunk so
+        worker residency is bounded by chunk size.
+
+        Resilience, checkpointing, and dead-lettering apply per chunk
+        exactly as in :meth:`match_pairs`: the executor persists and
+        replays chunk results by index and content signature, so a
+        killed streamed run resumes mid-stream.
+        """
+        by_id = self._by_id(records)
+        threshold: float | None = None
+        if isinstance(classifier, ThresholdClassifier):
+            threshold = classifier.match_threshold
+        tracer = self._tracer
+        match_pairs: set[frozenset[str]] = set()
+        scored_edges: list[tuple[str, str, float]] = []
+        counts = {"pairs": 0, "early": 0, "hits": 0, "misses": 0}
+        with tracer.span(
+            "engine.match_pairs",
+            execution=self._execution,
+            n_workers=self._n_workers,
+            streaming=True,
+        ) as span:
+            started = tracer.time()
+            run_attempt, close = self._stream_runner(by_id, threshold, budget)
+            if threshold is not None:
+                validate = _validate_match_result
+                executor = self._chunk_executor("match")
+            else:
+                validate = _validate_score_result
+                executor = self._chunk_executor("score")
+
+            def feed():
+                chunk: list[IdPair] = []
+                for left, right in pairs:
+                    if left not in by_id or right not in by_id:
+                        continue
+                    chunk.append((left, right))
+                    counts["pairs"] += 1
+                    if len(chunk) >= self._chunk_size:
+                        yield chunk
+                        chunk = []
+                if chunk:
+                    yield chunk
+
+            def consume(chunk_pairs, value) -> None:
+                if threshold is not None:
+                    matches, chunk_early, stats = value
+                    counts["early"] += chunk_early
+                    for left, right, score in matches:
+                        match_pairs.add(frozenset((left, right)))
+                        scored_edges.append((left, right, score))
+                else:
+                    chunk_vectors, stats = value
+                    for vector in chunk_vectors:
+                        if classifier.is_match(vector):
+                            match_pairs.add(
+                                frozenset((vector.left_id, vector.right_id))
+                            )
+                            scored_edges.append(
+                                (vector.left_id, vector.right_id, vector.score)
+                            )
+                counts["hits"] += stats["engine.prepared_cache_hits"]
+                counts["misses"] += stats["engine.prepared_cache_misses"]
+
+            try:
+                outcome = executor.run_stream(
+                    feed(), run_attempt, validate, consume
+                )
+            finally:
+                close()
+            elapsed = tracer.time() - started
+            self._record_match_metrics(
+                span,
+                n_pairs=counts["pairs"],
+                scored_edges=scored_edges,
+                n_early=counts["early"],
+                cache_hits=counts["hits"],
+                cache_misses=counts["misses"],
+                n_chunks=outcome.n_chunks,
+                elapsed=elapsed,
+            )
+            quarantined = tuple(outcome.quarantined_items)
+            self._last_dead_letters = outcome.dead_letters
+            span.set("n_quarantined", len(quarantined))
+            span.set("completed_chunks", outcome.completed_chunks)
+        return EngineRun(
+            match_pairs,
+            scored_edges,
+            counts["pairs"],
+            counts["early"],
+            self._execution,
+            self._n_workers,
+            dead_letters=outcome.dead_letters,
+            quarantined_pairs=quarantined,
+            completed_chunks=outcome.completed_chunks,
+            n_chunks=outcome.n_chunks,
+        )
+
+    def _stream_runner(
+        self,
+        by_id: Mapping[str, Record],
+        threshold: float | None,
+        budget,
+    ):
+        """``(run_attempt, close)`` for the streaming backends."""
+        if self._execution == "process":
+            pool = _PoolRunner(
+                lambda: ProcessPoolExecutor(
+                    max_workers=self._n_workers,
+                    initializer=_stream_worker_init,
+                    initargs=(self._comparator,),
+                )
+            )
+
+            def chunk_records(pairs: list[IdPair]) -> dict[str, Record]:
+                records: dict[str, Record] = {}
+                for left, right in pairs:
+                    if left not in records:
+                        records[left] = by_id[left]
+                    if right not in records:
+                        records[right] = by_id[right]
+                return records
+
+            if threshold is not None:
+                def run(pairs: list[IdPair], timeout):
+                    return pool.submit(
+                        _match_chunk_shipped,
+                        (pairs, chunk_records(pairs), threshold),
+                        timeout,
+                    )
+            else:
+                def run(pairs: list[IdPair], timeout):
+                    return pool.submit(
+                        _score_chunk_shipped,
+                        (pairs, chunk_records(pairs)),
+                        timeout,
+                    )
+            return run, pool.close
+        cache = _BoundedPreparedCache(self._comparator, by_id, budget)
+        comparator = self._comparator
+        if threshold is not None:
+            def run(pairs: list[IdPair], timeout):
+                hits, misses = cache.hits, cache.misses
+                matches: list[tuple[str, str, float]] = []
+                n_early = 0
+                for left, right in pairs:
+                    bounded = comparator.score_bounded(
+                        cache.get(left),
+                        cache.get(right),
+                        threshold,
+                        exact_scores=True,
+                    )
+                    if not bounded.exact:
+                        n_early += 1
+                    if bounded.is_match:
+                        matches.append((left, right, bounded.score))
+                return matches, n_early, {
+                    "engine.prepared_cache_hits": cache.hits - hits,
+                    "engine.prepared_cache_misses": cache.misses - misses,
+                }
+        else:
+            def run(pairs: list[IdPair], timeout):
+                hits, misses = cache.hits, cache.misses
+                vectors = [
+                    comparator.compare_prepared(
+                        cache.get(left), cache.get(right)
+                    )
+                    for left, right in pairs
+                ]
+                return vectors, {
+                    "engine.prepared_cache_hits": cache.hits - hits,
+                    "engine.prepared_cache_misses": cache.misses - misses,
+                }
+        return run, cache.release
 
     # --- resilient execution -----------------------------------------
     #

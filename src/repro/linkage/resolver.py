@@ -61,6 +61,21 @@ class LinkageResult:
         return len(self.quarantined_pairs)
 
 
+def _cluster(clustering, match_pairs, scored_edges, all_ids, tracer):
+    """The shared classify-output → clusters step."""
+    with tracer.span("linkage.cluster", algorithm=clustering) as span:
+        if clustering == "components":
+            clusters = connected_components(match_pairs, all_ids)
+        elif clustering == "center":
+            clusters = center_clustering(scored_edges, all_ids)
+        elif clustering == "merge-center":
+            clusters = merge_center_clustering(scored_edges, all_ids)
+        else:
+            raise ConfigurationError(f"unknown clustering {clustering!r}")
+        span.set("n_clusters", len(clusters))
+    return clusters
+
+
 def resolve(
     records: Sequence[Record],
     blocker: Blocker,
@@ -73,6 +88,8 @@ def resolve(
     tracer=None,
     resilience=None,
     checkpoint=None,
+    memory_budget=None,
+    spill_dir=None,
 ) -> LinkageResult:
     """Run block → compare → classify → cluster over ``records``.
 
@@ -103,8 +120,35 @@ def resolve(
     engine durably saves completed chunk results into the store, and a
     rerun of the same workload against the same store resumes from the
     last completed chunk.
+
+    ``memory_budget`` (estimated bytes, default off) switches to the
+    out-of-core path: blocking indexes and candidate pairs spill to
+    sorted runs under ``spill_dir`` (a directory path, a
+    :class:`repro.recovery.RunStore`/view, or ``None`` for a temporary
+    directory) whenever tracked resident bytes would exceed the
+    budget, and pairs stream through the engine chunk by chunk. Output
+    is byte-identical to the unbounded run; the blocker must have a
+    streaming path (``blocker.supports_streaming``). ``records`` may
+    then be a mapping (e.g. :class:`repro.outofcore.IndexedRecordStore`)
+    instead of a materialized sequence.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    if memory_budget is not None:
+        return _resolve_streaming(
+            records,
+            blocker,
+            comparator,
+            classifier,
+            clustering,
+            candidate_pairs,
+            execution,
+            n_workers,
+            tracer,
+            resilience,
+            checkpoint,
+            memory_budget,
+            spill_dir,
+        )
     by_id = {record.record_id: record for record in records}
     if candidate_pairs is None:
         with tracer.span("linkage.block", blocker=type(blocker).__name__) as span:
@@ -130,17 +174,9 @@ def resolve(
     run = engine.match_pairs(by_id, ordered_pairs, classifier)
     match_pairs = run.match_pairs
     scored_edges: list[ScoredEdge] = run.scored_edges
-    all_ids = sorted(by_id)
-    with tracer.span("linkage.cluster", algorithm=clustering) as span:
-        if clustering == "components":
-            clusters = connected_components(match_pairs, all_ids)
-        elif clustering == "center":
-            clusters = center_clustering(scored_edges, all_ids)
-        elif clustering == "merge-center":
-            clusters = merge_center_clustering(scored_edges, all_ids)
-        else:
-            raise ConfigurationError(f"unknown clustering {clustering!r}")
-        span.set("n_clusters", len(clusters))
+    clusters = _cluster(
+        clustering, match_pairs, scored_edges, sorted(by_id), tracer
+    )
     return LinkageResult(
         clusters=clusters,
         match_pairs=match_pairs,
@@ -149,3 +185,128 @@ def resolve(
         dead_letters=run.dead_letters if resilience is not None else None,
         quarantined_pairs=run.quarantined_pairs,
     )
+
+
+def _resolve_streaming(
+    records,
+    blocker: Blocker,
+    comparator: RecordComparator,
+    classifier: MatchClassifier,
+    clustering: ClusteringName,
+    candidate_pairs,
+    execution: ExecutionMode,
+    n_workers: int | None,
+    tracer,
+    resilience,
+    checkpoint,
+    memory_budget,
+    spill_dir,
+) -> LinkageResult:
+    """The out-of-core variant of :func:`resolve`.
+
+    Identical stages, bounded resident memory: the blocker streams
+    blocks through a spillable index, candidate pairs dedup through an
+    external sorted merge (yielding exactly the sorted-unique order the
+    in-memory path builds), and the engine consumes the pair stream in
+    fixed-size chunks. Spill runs are transient per call; checkpoints,
+    when configured, live in the separate ``checkpoint`` store exactly
+    as in the in-memory path, so kill-and-resume works mid-spill.
+    """
+    import tempfile
+    from collections.abc import Mapping
+
+    from repro.obs import BLOCK_SIZE_BUCKETS
+    from repro.outofcore import (
+        ExternalPairDeduper,
+        MemoryBudget,
+        SpillSession,
+    )
+    from repro.recovery import RunStore
+
+    budget = (
+        memory_budget
+        if isinstance(memory_budget, MemoryBudget)
+        else MemoryBudget(memory_budget, tracer=tracer)
+    )
+    temp = None
+    if spill_dir is None:
+        temp = tempfile.TemporaryDirectory(prefix="repro-spill-")
+        store = RunStore(temp.name, durable=False)
+    elif hasattr(spill_dir, "save_stream"):
+        store = spill_dir
+    else:
+        store = RunStore(spill_dir, durable=False)
+    try:
+        by_id = (
+            records
+            if isinstance(records, Mapping)
+            else {record.record_id: record for record in records}
+        )
+        record_iter = by_id.values()
+        if candidate_pairs is not None:
+            # Pairs were supplied in memory; stream them in canonical
+            # order for the bounded engine path.
+            ordered = [
+                (pair_ids[0], pair_ids[1])
+                for pair_ids in (
+                    sorted(pair)
+                    for pair in sorted(candidate_pairs, key=sorted)
+                )
+            ]
+            pair_stream = iter(ordered)
+            n_candidates = len(ordered)
+        else:
+            if not blocker.supports_streaming:
+                raise ConfigurationError(
+                    f"{type(blocker).__name__} has no streaming path; "
+                    "out-of-core resolve requires one (or explicit "
+                    "candidate_pairs)"
+                )
+            spill = SpillSession(store.sub("blocks"), budget)
+            deduper = ExternalPairDeduper(store.sub("pairs"), budget)
+            with tracer.span(
+                "linkage.block", blocker=type(blocker).__name__, streaming=True
+            ) as span:
+                n_blocks = 0
+                n_comparisons = 0
+                size_histogram = tracer.histogram(
+                    "blocking.block_size", BLOCK_SIZE_BUCKETS
+                )
+                for block in blocker.stream_blocks(record_iter, spill):
+                    n_blocks += 1
+                    n_comparisons += block.n_comparisons
+                    size_histogram.observe(float(len(block)))
+                    deduper.add_block(block.record_ids)
+                tracer.counter("blocking.blocks_built").inc(n_blocks)
+                tracer.counter("blocking.comparisons").inc(n_comparisons)
+                span.set("n_blocks", n_blocks)
+            pair_stream = deduper.stream()
+            n_candidates = None
+        engine = ParallelComparisonEngine(
+            comparator,
+            execution=execution,
+            n_workers=n_workers,
+            tracer=tracer,
+            resilience=resilience,
+            checkpoint=checkpoint,
+        )
+        run = engine.match_pairs_stream(
+            by_id, pair_stream, classifier, budget=budget
+        )
+        if n_candidates is None:
+            n_candidates = deduper.n_pairs
+        clusters = _cluster(
+            clustering, run.match_pairs, run.scored_edges, sorted(by_id), tracer
+        )
+        budget.publish()
+        return LinkageResult(
+            clusters=clusters,
+            match_pairs=run.match_pairs,
+            n_candidates=n_candidates,
+            scored_edges=run.scored_edges,
+            dead_letters=run.dead_letters if resilience is not None else None,
+            quarantined_pairs=run.quarantined_pairs,
+        )
+    finally:
+        if temp is not None:
+            temp.cleanup()

@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 from pathlib import Path
 
 from repro.core.errors import ReproError
@@ -48,8 +49,10 @@ __all__ = [
 ]
 
 _MAGIC = b"REPRO-CKPT-1\n"
+_STREAM_MAGIC = b"REPRO-CKPT-S1\n"
 _MANIFEST = "manifest.json"
 _ARTIFACT_DIR = "artifacts"
+_FRAME_HEAD = struct.Struct(">Q")
 
 
 class RecoveryError(ReproError):
@@ -305,6 +308,133 @@ class RunStore:
         except Exception:  # noqa: BLE001 — any damage means "absent"
             return None
 
+    # --- streaming artifacts -----------------------------------------
+    #
+    # The spill files of the out-of-core layer (repro.outofcore) are
+    # written through these: the same atomic write-rename and checksum
+    # guarantees as save/load, but the payload is a sequence of
+    # length-prefixed pickle frames, so a run larger than memory is
+    # written and read back one item at a time.
+
+    def save_stream(self, key: str, items) -> dict:
+        """Durably checkpoint an *iterable* as a framed artifact.
+
+        Unlike :meth:`save`, the value is never materialized as one
+        pickle: each item becomes a length-prefixed frame, with a
+        running SHA-256 over the frame payloads sealed into a JSON
+        trailer. The write is still atomic (temp + rename), so a crash
+        mid-spill never leaves a half-visible run under the real name.
+        Returns the artifact metadata (``key``/``sha256``/``size``/
+        ``frames``).
+        """
+        path = self._path_for(key)
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        digest = hashlib.sha256()
+        frames = 0
+        size = 0
+        header = json.dumps(
+            {"key": key, "stream": True}, sort_keys=True
+        ).encode("utf-8")
+        with open(tmp, "wb") as handle:
+            handle.write(_STREAM_MAGIC)
+            handle.write(header + b"\n")
+            for item in items:
+                payload = pickle.dumps(
+                    item, protocol=pickle.HIGHEST_PROTOCOL
+                )
+                handle.write(_FRAME_HEAD.pack(len(payload)))
+                handle.write(payload)
+                digest.update(payload)
+                frames += 1
+                size += len(payload)
+            handle.write(_FRAME_HEAD.pack(0))
+            trailer = json.dumps(
+                {"frames": frames, "sha256": digest.hexdigest()},
+                sort_keys=True,
+            ).encode("utf-8")
+            handle.write(trailer)
+            handle.flush()
+            if self._durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self._tracer.counter("recovery.saves").inc()
+        self._tracer.counter("recovery.save_bytes").inc(size)
+        return {
+            "key": key,
+            "sha256": digest.hexdigest(),
+            "size": size,
+            "frames": frames,
+        }
+
+    def load_stream(self, key: str):
+        """An iterator over a streaming artifact, or ``None`` if absent.
+
+        A missing file or damaged header means "not checkpointed"
+        (``None``), exactly like :meth:`load`. Damage *inside* the
+        stream — a torn frame or a trailer-checksum mismatch — raises
+        :class:`RecoveryError` instead: by the time it is detected,
+        items have already been yielded, and silently stopping would be
+        indistinguishable from a complete, shorter stream.
+        """
+        path = self._path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                if handle.read(len(_STREAM_MAGIC)) != _STREAM_MAGIC:
+                    self._tracer.counter("recovery.corrupt").inc()
+                    return None
+                header = json.loads(handle.readline())
+                if header.get("key") != key:
+                    self._tracer.counter("recovery.corrupt").inc()
+                    return None
+                offset = handle.tell()
+        except OSError:
+            self._tracer.counter("recovery.misses").inc()
+            return None
+        except Exception:  # noqa: BLE001 — damaged header means absent
+            self._tracer.counter("recovery.corrupt").inc()
+            return None
+        self._tracer.counter("recovery.loads").inc()
+        return self._stream_frames(path, key, offset)
+
+    @staticmethod
+    def _stream_frames(path: Path, key: str, offset: int):
+        digest = hashlib.sha256()
+        frames = 0
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(offset)
+                while True:
+                    head = handle.read(_FRAME_HEAD.size)
+                    if len(head) != _FRAME_HEAD.size:
+                        raise RecoveryError(
+                            f"streaming artifact {key!r}: torn frame head"
+                        )
+                    (length,) = _FRAME_HEAD.unpack(head)
+                    if length == 0:
+                        break
+                    payload = handle.read(length)
+                    if len(payload) != length:
+                        raise RecoveryError(
+                            f"streaming artifact {key!r}: torn frame"
+                        )
+                    digest.update(payload)
+                    frames += 1
+                    yield pickle.loads(payload)
+                trailer = json.loads(handle.read())
+        except RecoveryError:
+            raise
+        except Exception as error:  # noqa: BLE001 — any mid-stream damage
+            raise RecoveryError(
+                f"streaming artifact {key!r} is damaged: {error}"
+            ) from error
+        if (
+            trailer.get("frames") != frames
+            or trailer.get("sha256") != digest.hexdigest()
+        ):
+            raise RecoveryError(
+                f"streaming artifact {key!r}: trailer checksum mismatch"
+            )
+
     def delete(self, key: str) -> None:
         """Drop one artifact (missing is fine)."""
         try:
@@ -318,8 +448,15 @@ class RunStore:
         for path in self._artifacts.glob("*.ckpt"):
             try:
                 with open(path, "rb") as handle:
-                    if handle.read(len(_MAGIC)) != _MAGIC:
+                    # Both magics share the "REPRO-CKPT" prefix but
+                    # differ in length; read the longer and re-check.
+                    head = handle.read(len(_STREAM_MAGIC))
+                    if not (
+                        head == _STREAM_MAGIC or head.startswith(_MAGIC)
+                    ):
                         continue
+                    if head != _STREAM_MAGIC:
+                        handle.seek(len(_MAGIC))
                     header = handle.readline()
                 meta = json.loads(header)
                 found.append(meta["key"])
@@ -363,6 +500,12 @@ class StoreView:
 
     def load(self, key: str):
         return self._store.load(self._prefix + key)
+
+    def save_stream(self, key: str, items) -> dict:
+        return self._store.save_stream(self._prefix + key, items)
+
+    def load_stream(self, key: str):
+        return self._store.load_stream(self._prefix + key)
 
     def delete(self, key: str) -> None:
         self._store.delete(self._prefix + key)

@@ -151,9 +151,39 @@ class ResilientChunkExecutor:
         the garbage-detection hook that turns silent corruption into a
         retryable failure.
         """
+        return self._execute(chunks, run_attempt, validate, None, len(chunks))
+
+    def run_stream(
+        self,
+        chunks,
+        run_attempt: RunAttempt,
+        validate: Validator | None = None,
+        consume=None,
+    ) -> ResilientOutcome:
+        """Like :meth:`run` over a lazily produced chunk sequence.
+
+        ``chunks`` may be any iterable — its length is never taken, so
+        a generator feeding chunks straight out of a spill merge works;
+        the outcome's ``n_chunks`` is counted as chunks arrive. When
+        ``consume(items, value)`` is given, each completed result unit
+        is handed to it in input order and *not* retained on the
+        outcome, keeping resident memory bounded by one chunk's results
+        however long the stream runs. Checkpoint persist/replay still
+        operates per top-level chunk, before the units are consumed.
+        """
+        return self._execute(iter(chunks), run_attempt, validate, consume, None)
+
+    def _execute(
+        self,
+        chunks,
+        run_attempt: RunAttempt,
+        validate: Validator | None,
+        consume,
+        n_chunks: int | None,
+    ) -> ResilientOutcome:
         tracer = self._tracer
         outcome = ResilientOutcome(
-            n_chunks=len(chunks),
+            n_chunks=n_chunks or 0,
             dead_letters=DeadLetterLog(
                 path=self._config.dead_letter_path
             ),
@@ -168,28 +198,34 @@ class ResilientChunkExecutor:
             "resilience.execute",
             scope=self._scope,
             failure_policy=self._config.failure,
-            n_chunks=len(chunks),
         ) as span:
             for index, chunk in enumerate(chunks):
                 items = list(chunk)
-                if self._replay(index, items, outcome):
-                    tracer.gauge("resilience.chunks_done").set(index + 1)
-                    continue
+                if n_chunks is None:
+                    outcome.n_chunks = index + 1
                 n_units = len(outcome.results)
                 n_dead = len(outcome.dead_letters)
-                fully_ok = self._recover(
-                    str(index),
-                    index,
-                    items,
-                    run_attempt,
-                    validate,
-                    deadline_at,
-                    outcome,
-                )
-                if fully_ok:
-                    outcome.completed_chunks += 1
-                self._persist(index, items, outcome, n_units, n_dead, fully_ok)
+                if not self._replay(index, items, outcome):
+                    fully_ok = self._recover(
+                        str(index),
+                        index,
+                        items,
+                        run_attempt,
+                        validate,
+                        deadline_at,
+                        outcome,
+                    )
+                    if fully_ok:
+                        outcome.completed_chunks += 1
+                    self._persist(
+                        index, items, outcome, n_units, n_dead, fully_ok
+                    )
+                if consume is not None:
+                    for unit_items, value in outcome.results[n_units:]:
+                        consume(unit_items, value)
+                    del outcome.results[n_units:]
                 tracer.gauge("resilience.chunks_done").set(index + 1)
+            span.set("n_chunks", outcome.n_chunks)
             self._publish(span, outcome)
         return outcome
 

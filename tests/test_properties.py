@@ -191,6 +191,47 @@ class TestTextInvariants:
         )
 
 
+class TestSimilarityInvariants:
+    """Metric axioms every string-similarity measure must satisfy for
+    arbitrary inputs: symmetry, identity, and the [0, 1] range."""
+
+    @staticmethod
+    def _measures():
+        from repro.text.similarity import (
+            jaccard_similarity,
+            jaro_winkler_similarity,
+        )
+        from repro.text.tokens import qgrams
+
+        def qgram_similarity(a, b):
+            return jaccard_similarity(qgrams(a), qgrams(b))
+
+        return [
+            jaccard_similarity,
+            jaro_winkler_similarity,
+            qgram_similarity,
+        ]
+
+    @given(a=st.text(max_size=20), b=st.text(max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetric(self, a, b):
+        for measure in self._measures():
+            assert measure(a, b) == measure(b, a)
+
+    @given(a=st.text(min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_identity(self, a):
+        for measure in self._measures():
+            assert measure(a, a) == pytest.approx(1.0)
+
+    @given(a=st.text(max_size=20), b=st.text(max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_unit_interval(self, a, b):
+        for measure in self._measures():
+            score = measure(a, b)
+            assert 0.0 <= score <= 1.0
+
+
 class TestClusteringInvariants:
     @given(
         st.lists(
