@@ -1,0 +1,40 @@
+"""Columnar prepared-record blocks and vectorized batch scoring.
+
+The third engine layer (after prepared records and staged early exit):
+:func:`build_block` packs a comparator's records into per-field
+contiguous numpy columns once, and the batch kernels
+(:func:`score_block`, :func:`match_block`) score whole pair sets per
+call — numpy set-intersection/Jaccard/dice/overlap/exact/numeric
+kernels plus a vectorized early-exit mask, with the scalar similarity
+path reserved for the residual pairs that survive it. Output is
+bit-identical to the scalar engine; select it end to end with
+``representation="columnar"`` on
+:class:`~repro.linkage.engine.ParallelComparisonEngine`,
+:func:`~repro.linkage.resolver.resolve`, or
+:class:`~repro.core.pipeline.PipelineConfig`.
+"""
+
+from repro.columnar.block import ColumnarBlock, build_block, column_kind
+from repro.columnar.kernels import (
+    match_block,
+    match_id_pairs,
+    match_positions,
+    score_block,
+    score_id_pairs,
+    score_positions,
+)
+from repro.columnar.serialize import block_from_bytes, block_to_bytes
+
+__all__ = [
+    "ColumnarBlock",
+    "block_from_bytes",
+    "block_to_bytes",
+    "build_block",
+    "column_kind",
+    "match_block",
+    "match_id_pairs",
+    "match_positions",
+    "score_block",
+    "score_id_pairs",
+    "score_positions",
+]

@@ -36,7 +36,12 @@ class PipelineConfig:
     string voting. ``execution`` selects the pair-comparison backend
     (``"serial"`` or ``"process"``, see :mod:`repro.linkage.engine`)
     with ``n_workers`` processes when multiprocess; match output is
-    identical either way. ``resilience`` (a
+    identical either way. ``representation`` selects the engine's
+    record layout: ``"dict"`` (default) scores prepared dict payloads
+    pair by pair, ``"columnar"`` packs them into
+    :mod:`repro.columnar` blocks and scores whole chunks through the
+    vectorized batch kernels — bit-identical output, orthogonal to
+    ``execution``. ``resilience`` (a
     :class:`repro.resilience.ResilienceConfig`, default off) makes the
     linkage stage fault-tolerant: failed comparison chunks are retried
     with backoff and, under ``failure="skip"``, quarantined into
@@ -55,6 +60,7 @@ class PipelineConfig:
     numeric_fusion: bool = False
     execution: str = "serial"
     n_workers: int | None = None
+    representation: str = "dict"
     resilience: ResilienceConfig | None = None
 
     def __post_init__(self) -> None:
@@ -67,6 +73,10 @@ class PipelineConfig:
         if self.execution not in {"serial", "process"}:
             raise ConfigurationError(
                 f"unknown execution mode {self.execution!r}"
+            )
+        if self.representation not in {"dict", "columnar"}:
+            raise ConfigurationError(
+                f"unknown representation {self.representation!r}"
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
@@ -327,6 +337,7 @@ class BDIPipeline:
                             tracer=tracer,
                             resilience=config.resilience,
                             checkpoint=sub("linkage.vectors"),
+                            representation=config.representation,  # type: ignore[arg-type]
                         )
                         vectors = pair_engine.compare_pairs(
                             records,
@@ -363,6 +374,7 @@ class BDIPipeline:
                         tracer=tracer,
                         resilience=config.resilience,
                         checkpoint=sub("linkage.engine"),
+                        representation=config.representation,  # type: ignore[arg-type]
                         memory_budget=budget,
                         spill_dir=(
                             spill_store.sub("linkage")

@@ -45,6 +45,7 @@ from repro.linkage.comparison import (
 from repro.linkage.engine import (
     EngineRun,
     ParallelComparisonEngine,
+    Representation,
     prepare_records,
 )
 from repro.linkage.identifier import (
@@ -96,6 +97,7 @@ __all__ = [
     "MatchRule",
     "MinHashBlocker",
     "ParallelComparisonEngine",
+    "Representation",
     "PreparedRecord",
     "ProgressivePoint",
     "QGramBlocker",

@@ -39,13 +39,21 @@ from repro.text.similarity import (
 from repro.text.tokens import word_token_tuple
 
 __all__ = [
+    "BOUND_MARGIN",
     "FieldComparator",
     "ComparisonVector",
     "PreparedRecord",
     "BoundedComparison",
     "RecordComparator",
     "default_product_comparator",
+    "similarity_spec",
 ]
+
+#: Safety margin keeping early exits sound under float rounding: bounds
+#: within this distance of the threshold never trigger an exit — the
+#: pair is simply evaluated in full. Shared by the staged scalar scorer
+#: and the columnar batch kernels so both reject identically.
+BOUND_MARGIN = 1e-9
 
 Translator = Callable[[Record], Mapping[str, str]]
 
@@ -169,6 +177,17 @@ def _spec_for(similarity: Callable[..., float]) -> _SimilaritySpec:
     if spec is not None:
         return spec
     return _SimilaritySpec(_UNKNOWN_COST, _identity_payload, similarity)
+
+
+def similarity_spec(similarity: Callable[..., float]) -> _SimilaritySpec:
+    """The ``(cost, prepare, similarity)`` spec for a similarity callable.
+
+    Public accessor for consumers outside the pair loop (the columnar
+    block builder keys its column kinds off the same registry the
+    prepared fast path uses, so the two representations can never
+    disagree about what a field's payload is).
+    """
+    return _spec_for(similarity)
 
 
 @dataclass(frozen=True)
@@ -344,6 +363,16 @@ class RecordComparator:
         """The comparison rules."""
         return self._fields
 
+    @property
+    def missing_penalty(self) -> float | None:
+        """Score contribution assumed for missing fields (None = excluded)."""
+        return self._missing_penalty
+
+    @property
+    def staged_order(self) -> tuple[int, ...]:
+        """Field indices cheap-to-expensive (the early-exit evaluation order)."""
+        return self._staged_order
+
     def compare(self, left: Record, right: Record) -> ComparisonVector:
         """Compare one pair, returning its vector and aggregate score."""
         left_attributes = self._translate(left)
@@ -419,10 +448,8 @@ class RecordComparator:
             score=score,
         )
 
-    #: Safety margin keeping early exits sound under float rounding:
-    #: bounds within this distance of the threshold never trigger an
-    #: exit — the pair is simply evaluated in full.
-    _BOUND_MARGIN = 1e-9
+    #: See the module-level :data:`BOUND_MARGIN`.
+    _BOUND_MARGIN = BOUND_MARGIN
 
     def score_bounded(
         self,

@@ -18,6 +18,13 @@ preserving the output of the naive path:
    :class:`~concurrent.futures.ProcessPoolExecutor`; each worker keeps
    its own prepared-record cache, and results reassemble in input
    order so output is identical to the serial path.
+4. **Columnar batch scoring** — ``representation="columnar"`` packs
+   prepared records into per-field numpy columns
+   (:mod:`repro.columnar`) and scores whole chunks per call with
+   vectorized kernels plus a vectorized early-exit mask, falling back
+   to the scalar path only for the residual pairs that survive it.
+   Orthogonal to ``execution`` and streaming; output stays
+   bit-identical to the dict representation.
 
 Records must be immutable after preparation (library records are
 immutable by construction); a prepared record is only meaningful to
@@ -59,6 +66,7 @@ __all__ = [
 ]
 
 ExecutionMode = Literal["serial", "process"]
+Representation = Literal["dict", "columnar"]
 
 IdPair = tuple[str, str]
 
@@ -108,13 +116,16 @@ class EngineRun:
     quarantined_pairs: tuple[IdPair, ...] = ()
     completed_chunks: int = 0
     n_chunks: int = 0
+    representation: str = "dict"
 
 
 # --- worker-side state for the process backend -----------------------
 #
 # Initialized once per worker process; the prepared cache fills lazily
 # as the worker's chunks reference records, so each record is prepared
-# at most once per worker.
+# at most once per worker. Columnar workers instead receive the whole
+# block at pool startup (its transient memo caches ship empty and
+# refill per worker).
 
 _WORKER: dict = {}
 
@@ -250,6 +261,56 @@ def _score_chunk_shipped(
     return vectors, _chunk_cache_stats(pairs, len(prepared))
 
 
+# --- worker-side paths for the columnar representation ---------------
+#
+# Non-streamed columnar runs build the block once in the parent and
+# ship it whole via pool initargs (interned columns are far smaller
+# than the record list the dict representation ships). Streamed runs
+# ship each chunk's records and let the worker build a chunk-local
+# block — same residency bound as the shipped dict path.
+
+
+def _columnar_worker_init(block) -> None:
+    _WORKER["block"] = block
+
+
+def _columnar_match_chunk(
+    args: tuple[list[IdPair], float],
+) -> tuple[list[tuple[str, str, float]], int, dict[str, int]]:
+    from repro.columnar import match_id_pairs
+
+    pairs, threshold = args
+    return match_id_pairs(_WORKER["block"], pairs, threshold)
+
+
+def _columnar_score_chunk(
+    pairs: list[IdPair],
+) -> tuple[list[ComparisonVector], dict[str, int]]:
+    from repro.columnar import score_id_pairs
+
+    return score_id_pairs(_WORKER["block"], pairs)
+
+
+def _columnar_match_chunk_shipped(
+    args: tuple[list[IdPair], dict[str, Record], float],
+) -> tuple[list[tuple[str, str, float]], int, dict[str, int]]:
+    from repro.columnar import build_block, match_id_pairs
+
+    pairs, records, threshold = args
+    block = build_block(_WORKER["comparator"], records)
+    return match_id_pairs(block, pairs, threshold)
+
+
+def _columnar_score_chunk_shipped(
+    args: tuple[list[IdPair], dict[str, Record]],
+) -> tuple[list[ComparisonVector], dict[str, int]]:
+    from repro.columnar import build_block, score_id_pairs
+
+    pairs, records = args
+    block = build_block(_WORKER["comparator"], records)
+    return score_id_pairs(block, pairs)
+
+
 class _BoundedPreparedCache:
     """An LRU prepared-record cache tracked against a memory budget.
 
@@ -319,6 +380,18 @@ class _BoundedPreparedCache:
 # whose shape is wrong — a worker that OOMed mid-pickle, a fault
 # injector returning garbage — becomes a retryable failure instead of
 # a crash (or worse, silent corruption) further downstream.
+
+
+def _fold_stats(acc: dict[str, int], stats: Mapping[str, int]) -> None:
+    """Accumulate one chunk's stats dict into ``acc``, key by key.
+
+    Chunk workers report whatever counters their path tracks (the
+    prepared-cache pair for the dict representation, plus the
+    vectorized/residual pair split for columnar kernels); folding
+    generically keeps the parent agnostic of the representation.
+    """
+    for key, value in stats.items():
+        acc[key] = acc.get(key, 0) + value
 
 
 def _validate_score_result(pairs: list[IdPair], value) -> None:
@@ -399,6 +472,16 @@ class ParallelComparisonEngine:
         ``"serial"`` runs in-process; ``"process"`` fans chunked pair
         batches out over ``n_workers`` OS processes. Both produce
         identical output.
+    representation:
+        ``"dict"`` (the default) scores pairs one at a time over
+        prepared records; ``"columnar"`` packs the records into a
+        :class:`repro.columnar.ColumnarBlock` and scores whole chunks
+        per call with the vectorized batch kernels. Orthogonal to
+        ``execution``, streaming, resilience, and checkpointing —
+        every combination produces bit-identical output (the columnar
+        representation always routes through the chunked executor, so
+        chunk checkpoints are even interchangeable between
+        representations).
     n_workers:
         Process count for the process backend (default: CPU count).
     chunk_size:
@@ -443,9 +526,14 @@ class ParallelComparisonEngine:
         tracer=None,
         resilience: ResilienceConfig | None = None,
         checkpoint=None,
+        representation: Representation = "dict",
     ) -> None:
         if execution not in ("serial", "process"):
             raise ConfigurationError(f"unknown execution mode {execution!r}")
+        if representation not in ("dict", "columnar"):
+            raise ConfigurationError(
+                f"unknown representation {representation!r}"
+            )
         if n_workers is not None and n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
         if chunk_size < 1:
@@ -458,6 +546,7 @@ class ParallelComparisonEngine:
             )
         self._comparator = comparator
         self._execution: ExecutionMode = execution
+        self._representation: Representation = representation
         self._n_workers = n_workers or os.cpu_count() or 1
         self._chunk_size = chunk_size
         self._tracer = tracer if tracer is not None else NULL_TRACER
@@ -478,6 +567,11 @@ class ParallelComparisonEngine:
     def execution(self) -> str:
         """The configured execution mode."""
         return self._execution
+
+    @property
+    def representation(self) -> str:
+        """The configured record representation."""
+        return self._representation
 
     @property
     def n_workers(self) -> int:
@@ -542,7 +636,28 @@ class ParallelComparisonEngine:
                 prepared[left] = comparator.prepare(by_id[left])
             if right not in prepared:
                 prepared[right] = comparator.prepare(by_id[right])
+        if self._tracer is not NULL_TRACER:
+            from repro.outofcore.budget import (
+                PREPARED_RECORD_FACTOR,
+                record_nbytes,
+            )
+
+            self._tracer.gauge("engine.prepared_bytes").set(
+                sum(
+                    PREPARED_RECORD_FACTOR * record_nbytes(by_id[record_id])
+                    for record_id in prepared
+                )
+            )
         return prepared
+
+    def _build_block(self, by_id: Mapping[str, Record]):
+        """Columnarize the corpus once, publishing its size gauge."""
+        from repro.columnar import build_block
+
+        block = build_block(self._comparator, by_id.values())
+        if self._tracer is not NULL_TRACER:
+            self._tracer.gauge("columnar.block_bytes").set(block.nbytes)
+        return block
 
     # --- public API --------------------------------------------------
 
@@ -559,7 +674,15 @@ class ParallelComparisonEngine:
         """
         by_id = self._by_id(records)
         valid = self._valid_pairs(by_id, pairs)
-        if self._resilience is not None or self._checkpoint is not None:
+        if (
+            self._resilience is not None
+            or self._checkpoint is not None
+            or self._representation == "columnar"
+        ):
+            # Columnar scoring always runs through the chunked executor
+            # (fail-fast pass-through when no resilience is configured):
+            # one batch-kernel path covers plain, resilient, and
+            # checkpointed runs alike.
             return self._compare_pairs_resilient(by_id, valid)
         tracer = self._tracer
         with tracer.span(
@@ -617,7 +740,11 @@ class ParallelComparisonEngine:
         threshold: float | None = None
         if isinstance(classifier, ThresholdClassifier):
             threshold = classifier.match_threshold
-        if self._resilience is not None or self._checkpoint is not None:
+        if (
+            self._resilience is not None
+            or self._checkpoint is not None
+            or self._representation == "columnar"
+        ):
             return self._match_pairs_resilient(
                 by_id, valid, classifier, threshold
             )
@@ -727,6 +854,7 @@ class ParallelComparisonEngine:
             n_early,
             self._execution,
             self._n_workers,
+            representation=self._representation,
         )
 
     def match_pairs_stream(
@@ -761,7 +889,8 @@ class ParallelComparisonEngine:
         tracer = self._tracer
         match_pairs: set[frozenset[str]] = set()
         scored_edges: list[tuple[str, str, float]] = []
-        counts = {"pairs": 0, "early": 0, "hits": 0, "misses": 0}
+        counts = {"pairs": 0, "early": 0}
+        folded: dict[str, int] = {}
         with tracer.span(
             "engine.match_pairs",
             execution=self._execution,
@@ -807,8 +936,7 @@ class ParallelComparisonEngine:
                             scored_edges.append(
                                 (vector.left_id, vector.right_id, vector.score)
                             )
-                counts["hits"] += stats["engine.prepared_cache_hits"]
-                counts["misses"] += stats["engine.prepared_cache_misses"]
+                _fold_stats(folded, stats)
 
             try:
                 outcome = executor.run_stream(
@@ -816,14 +944,15 @@ class ParallelComparisonEngine:
                 )
             finally:
                 close()
+            cache_hits, cache_misses = self._publish_chunk_counters(folded)
             elapsed = tracer.time() - started
             self._record_match_metrics(
                 span,
                 n_pairs=counts["pairs"],
                 scored_edges=scored_edges,
                 n_early=counts["early"],
-                cache_hits=counts["hits"],
-                cache_misses=counts["misses"],
+                cache_hits=cache_hits,
+                cache_misses=cache_misses,
                 n_chunks=outcome.n_chunks,
                 elapsed=elapsed,
             )
@@ -842,6 +971,7 @@ class ParallelComparisonEngine:
             quarantined_pairs=quarantined,
             completed_chunks=outcome.completed_chunks,
             n_chunks=outcome.n_chunks,
+            representation=self._representation,
         )
 
     def _stream_runner(
@@ -851,6 +981,20 @@ class ParallelComparisonEngine:
         budget,
     ):
         """``(run_attempt, close)`` for the streaming backends."""
+
+        def chunk_records(pairs: list[IdPair]) -> dict[str, Record]:
+            records: dict[str, Record] = {}
+            for left, right in pairs:
+                if left not in records:
+                    records[left] = by_id[left]
+                if right not in records:
+                    records[right] = by_id[right]
+            return records
+
+        if self._representation == "columnar":
+            return self._columnar_stream_runner(
+                chunk_records, threshold, budget
+            )
         if self._execution == "process":
             pool = _PoolRunner(
                 lambda: ProcessPoolExecutor(
@@ -859,16 +1003,6 @@ class ParallelComparisonEngine:
                     initargs=(self._comparator,),
                 )
             )
-
-            def chunk_records(pairs: list[IdPair]) -> dict[str, Record]:
-                records: dict[str, Record] = {}
-                for left, right in pairs:
-                    if left not in records:
-                        records[left] = by_id[left]
-                    if right not in records:
-                        records[right] = by_id[right]
-                return records
-
             if threshold is not None:
                 def run(pairs: list[IdPair], timeout):
                     return pool.submit(
@@ -921,6 +1055,102 @@ class ParallelComparisonEngine:
                 }
         return run, cache.release
 
+    def _columnar_stream_runner(self, chunk_records, threshold, budget):
+        """Streaming runners that columnarize each chunk's records.
+
+        The process backend ships each chunk's records and lets the
+        worker build a chunk-local block (residency bounded by chunk
+        size, like the shipped dict path); the serial backend builds
+        the block in-process, charging its deterministic byte estimate
+        to ``budget`` for the chunk's lifetime — and, like the bounded
+        prepared cache on the dict path, never past the limit: a chunk
+        whose block would exceed the remaining budget is split in half
+        until each sub-block fits (pairs score independently, so the
+        concatenated results are bit-identical). Only a single pair
+        whose own block exceeds the budget is charged past the limit,
+        mirroring the dict cache's one-resident-record floor.
+        """
+        if self._execution == "process":
+            pool = _PoolRunner(
+                lambda: ProcessPoolExecutor(
+                    max_workers=self._n_workers,
+                    initializer=_stream_worker_init,
+                    initargs=(self._comparator,),
+                )
+            )
+            if threshold is not None:
+                def run(pairs: list[IdPair], timeout):
+                    return pool.submit(
+                        _columnar_match_chunk_shipped,
+                        (pairs, chunk_records(pairs), threshold),
+                        timeout,
+                    )
+            else:
+                def run(pairs: list[IdPair], timeout):
+                    return pool.submit(
+                        _columnar_score_chunk_shipped,
+                        (pairs, chunk_records(pairs)),
+                        timeout,
+                    )
+            return run, pool.close
+
+        from repro.columnar import (
+            build_block,
+            match_id_pairs,
+            score_id_pairs,
+        )
+        from repro.outofcore.budget import columnar_block_nbytes
+
+        comparator = self._comparator
+        tracer = self._tracer
+
+        def with_chunk_block(pairs: list[IdPair], kernel, merge):
+            block = build_block(comparator, chunk_records(pairs))
+            cost = columnar_block_nbytes(block)
+            if (
+                budget is not None
+                and len(pairs) > 1
+                and budget.would_exceed(cost)
+            ):
+                mid = len(pairs) // 2
+                return merge(
+                    with_chunk_block(pairs[:mid], kernel, merge),
+                    with_chunk_block(pairs[mid:], kernel, merge),
+                )
+            if tracer is not NULL_TRACER:
+                tracer.gauge("columnar.block_bytes").set(cost)
+            if budget is not None:
+                budget.add(cost)
+            try:
+                return kernel(block, pairs)
+            finally:
+                if budget is not None:
+                    budget.remove(cost)
+
+        if threshold is not None:
+            def merge(a, b):
+                stats = dict(a[2])
+                _fold_stats(stats, b[2])
+                return a[0] + b[0], a[1] + b[1], stats
+
+            def run(pairs: list[IdPair], timeout):
+                return with_chunk_block(
+                    pairs,
+                    lambda block, chunk: match_id_pairs(
+                        block, chunk, threshold
+                    ),
+                    merge,
+                )
+        else:
+            def merge(a, b):
+                stats = dict(a[1])
+                _fold_stats(stats, b[1])
+                return a[0] + b[0], stats
+
+            def run(pairs: list[IdPair], timeout):
+                return with_chunk_block(pairs, score_id_pairs, merge)
+        return run, lambda: None
+
     # --- resilient execution -----------------------------------------
     #
     # With a ResilienceConfig, both backends run through the shared
@@ -942,8 +1172,52 @@ class ParallelComparisonEngine:
 
         return prepared, prepared_for
 
+    def _publish_chunk_counters(
+        self, folded: dict[str, int]
+    ) -> tuple[int, int]:
+        """Publish folded chunk stats; return the (hits, misses) pair.
+
+        The prepared-cache pair feeds the standard match metrics; any
+        remaining keys (the columnar kernels' counters) publish as
+        counters of their own. Columnar counters are touched even when
+        zero, so columnar runs always yield well-formed reports.
+        """
+        hits = folded.pop("engine.prepared_cache_hits", 0)
+        misses = folded.pop("engine.prepared_cache_misses", 0)
+        if self._representation == "columnar":
+            for key in (
+                "columnar.pairs_vectorized",
+                "columnar.pairs_residual",
+            ):
+                folded.setdefault(key, 0)
+        for key, value in folded.items():
+            self._tracer.counter(key).inc(value)
+        return hits, misses
+
     def _score_runner(self, by_id: Mapping[str, Record]):
         """``(run_attempt, close)`` for full-vector chunk scoring."""
+        if self._representation == "columnar":
+            block = self._build_block(by_id)
+            if self._execution == "process":
+                pool = _PoolRunner(
+                    lambda: ProcessPoolExecutor(
+                        max_workers=self._n_workers,
+                        initializer=_columnar_worker_init,
+                        initargs=(block,),
+                    )
+                )
+                return (
+                    lambda pairs, timeout: pool.submit(
+                        _columnar_score_chunk, pairs, timeout
+                    ),
+                    pool.close,
+                )
+            from repro.columnar import score_id_pairs
+
+            return (
+                lambda pairs, timeout: score_id_pairs(block, pairs),
+                lambda: None,
+            )
         if self._execution == "process":
             pool = _PoolRunner(lambda: self._executor(by_id))
             return (
@@ -971,6 +1245,30 @@ class ParallelComparisonEngine:
 
     def _match_runner(self, by_id: Mapping[str, Record], threshold: float):
         """``(run_attempt, close)`` for staged threshold matching."""
+        if self._representation == "columnar":
+            block = self._build_block(by_id)
+            if self._execution == "process":
+                pool = _PoolRunner(
+                    lambda: ProcessPoolExecutor(
+                        max_workers=self._n_workers,
+                        initializer=_columnar_worker_init,
+                        initargs=(block,),
+                    )
+                )
+                return (
+                    lambda pairs, timeout: pool.submit(
+                        _columnar_match_chunk, (pairs, threshold), timeout
+                    ),
+                    pool.close,
+                )
+            from repro.columnar import match_id_pairs
+
+            return (
+                lambda pairs, timeout: match_id_pairs(
+                    block, pairs, threshold
+                ),
+                lambda: None,
+            )
         if self._execution == "process":
             pool = _PoolRunner(lambda: self._executor(by_id))
             return (
@@ -1044,12 +1342,12 @@ class ParallelComparisonEngine:
             finally:
                 close()
             vectors: list[ComparisonVector] = []
-            cache_hits = cache_misses = 0
+            folded: dict[str, int] = {}
             for __, value in outcome.results:
                 chunk_vectors, stats = value
                 vectors.extend(chunk_vectors)
-                cache_hits += stats["engine.prepared_cache_hits"]
-                cache_misses += stats["engine.prepared_cache_misses"]
+                _fold_stats(folded, stats)
+            cache_hits, cache_misses = self._publish_chunk_counters(folded)
             self._last_dead_letters = outcome.dead_letters
             tracer.counter("engine.pairs_total").inc(len(valid))
             tracer.counter("engine.prepared_cache_hits").inc(cache_hits)
@@ -1070,7 +1368,7 @@ class ParallelComparisonEngine:
         match_pairs: set[frozenset[str]] = set()
         scored_edges: list[tuple[str, str, float]] = []
         n_early = 0
-        cache_hits = cache_misses = 0
+        folded: dict[str, int] = {}
         with tracer.span(
             "engine.match_pairs",
             execution=self._execution,
@@ -1114,8 +1412,8 @@ class ParallelComparisonEngine:
                                     vector.score,
                                 )
                             )
-                cache_hits += stats["engine.prepared_cache_hits"]
-                cache_misses += stats["engine.prepared_cache_misses"]
+                _fold_stats(folded, stats)
+            cache_hits, cache_misses = self._publish_chunk_counters(folded)
             elapsed = tracer.time() - started
             self._record_match_metrics(
                 span,
@@ -1142,6 +1440,7 @@ class ParallelComparisonEngine:
             quarantined_pairs=quarantined,
             completed_chunks=outcome.completed_chunks,
             n_chunks=outcome.n_chunks,
+            representation=self._representation,
         )
 
     def _record_match_metrics(

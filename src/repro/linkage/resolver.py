@@ -21,7 +21,11 @@ from repro.linkage.clustering import (
     merge_center_clustering,
 )
 from repro.linkage.comparison import ComparisonVector, RecordComparator
-from repro.linkage.engine import ExecutionMode, ParallelComparisonEngine
+from repro.linkage.engine import (
+    ExecutionMode,
+    ParallelComparisonEngine,
+    Representation,
+)
 from repro.obs import NULL_TRACER, observe_block_collection
 
 __all__ = ["MatchClassifier", "LinkageResult", "resolve"]
@@ -90,6 +94,7 @@ def resolve(
     checkpoint=None,
     memory_budget=None,
     spill_dir=None,
+    representation: Representation = "dict",
 ) -> LinkageResult:
     """Run block → compare → classify → cluster over ``records``.
 
@@ -131,6 +136,13 @@ def resolve(
     streaming path (``blocker.supports_streaming``). ``records`` may
     then be a mapping (e.g. :class:`repro.outofcore.IndexedRecordStore`)
     instead of a materialized sequence.
+
+    ``representation`` selects the engine's record layout:
+    ``"dict"`` (default) scores prepared dict payloads pair by pair;
+    ``"columnar"`` packs them into :mod:`repro.columnar` blocks and
+    scores whole chunks through the vectorized batch kernels. Output is
+    bit-identical either way; it composes with every ``execution``
+    mode, resilience, checkpointing, and the out-of-core path.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     if memory_budget is not None:
@@ -148,6 +160,7 @@ def resolve(
             checkpoint,
             memory_budget,
             spill_dir,
+            representation,
         )
     by_id = {record.record_id: record for record in records}
     if candidate_pairs is None:
@@ -170,6 +183,7 @@ def resolve(
         tracer=tracer,
         resilience=resilience,
         checkpoint=checkpoint,
+        representation=representation,
     )
     run = engine.match_pairs(by_id, ordered_pairs, classifier)
     match_pairs = run.match_pairs
@@ -201,6 +215,7 @@ def _resolve_streaming(
     checkpoint,
     memory_budget,
     spill_dir,
+    representation: Representation = "dict",
 ) -> LinkageResult:
     """The out-of-core variant of :func:`resolve`.
 
@@ -289,6 +304,7 @@ def _resolve_streaming(
             tracer=tracer,
             resilience=resilience,
             checkpoint=checkpoint,
+            representation=representation,
         )
         run = engine.match_pairs_stream(
             by_id, pair_stream, classifier, budget=budget

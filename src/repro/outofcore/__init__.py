@@ -28,6 +28,7 @@ Building blocks:
 
 from repro.outofcore.budget import (
     MemoryBudget,
+    columnar_block_nbytes,
     pair_nbytes,
     record_nbytes,
     str_nbytes,
@@ -53,6 +54,7 @@ __all__ = [
     "IndexedRecordStore",
     "MemoryBudget",
     "SpillSession",
+    "columnar_block_nbytes",
     "SpillableBlockIndex",
     "SpillableClaimGroups",
     "pair_nbytes",

@@ -21,6 +21,7 @@ from repro.core.errors import ConfigurationError
 
 __all__ = [
     "MemoryBudget",
+    "columnar_block_nbytes",
     "pair_nbytes",
     "record_nbytes",
     "str_nbytes",
@@ -45,6 +46,18 @@ def str_nbytes(text: str) -> int:
 def pair_nbytes(left: str, right: str) -> int:
     """Estimated cost of one resident ``(left, right)`` string pair."""
     return OBJECT_OVERHEAD + str_nbytes(left) + str_nbytes(right)
+
+
+def columnar_block_nbytes(block) -> int:
+    """Estimated resident size of one :class:`ColumnarBlock`.
+
+    Delegates to the block's own deterministic ``nbytes`` estimate
+    (array buffers plus interned payload tables under the same overhead
+    constants used here), so streaming columnar chunks charge the
+    shared budget with the same reproducibility guarantees as record
+    and pair estimates.
+    """
+    return block.nbytes
 
 
 def record_nbytes(record) -> int:

@@ -159,6 +159,15 @@ def jaro_winkler_similarity(a: str, b: str, prefix_weight: float = 0.1) -> float
 
 
 def _as_set(value: str | Iterable[str]) -> set[str]:
+    """Token set of ``value``.
+
+    Strings are word-tokenized; any other iterable is treated as
+    *already tokenized* and used verbatim — duplicates collapse, but
+    tokens are never re-tokenized, re-cased, or filtered, so callers
+    that pass empty-string or non-ASCII tokens get exactly those tokens
+    as set elements (the tokenizer itself never produces either: it
+    emits only non-empty ``[a-z0-9]+`` runs).
+    """
     if isinstance(value, str):
         return set(word_tokens(value))
     return set(value)
@@ -197,10 +206,30 @@ def overlap_coefficient(a: str | Iterable[str], b: str | Iterable[str]) -> float
     return len(set_a & set_b) / smaller
 
 
-def cosine_similarity(a: Counter[str] | str, b: Counter[str] | str) -> float:
-    """Cosine of token-count vectors (strings are word-tokenized)."""
-    counts_a = a if isinstance(a, Counter) else Counter(word_tokens(a))
-    counts_b = b if isinstance(b, Counter) else Counter(word_tokens(b))
+def _as_counts(value: Counter[str] | str | Iterable[str]) -> Counter[str]:
+    """Token-count view of ``value``.
+
+    Strings are word-tokenized; Counters pass through; any other
+    iterable is treated as *already tokenized* and counted verbatim
+    (duplicates keep their multiplicity). Historically a pre-tokenized
+    list was handed to the tokenizer, which crashed on non-string
+    input — token iterables are now first-class, matching ``_as_set``.
+    """
+    if isinstance(value, Counter):
+        return value
+    if isinstance(value, str):
+        return Counter(word_tokens(value))
+    return Counter(value)
+
+
+def cosine_similarity(
+    a: Counter[str] | str | Iterable[str],
+    b: Counter[str] | str | Iterable[str],
+) -> float:
+    """Cosine of token-count vectors (strings are word-tokenized,
+    non-Counter iterables are counted as pre-tokenized input)."""
+    counts_a = _as_counts(a)
+    counts_b = _as_counts(b)
     if not counts_a and not counts_b:
         return 1.0
     if not counts_a or not counts_b:
@@ -288,6 +317,14 @@ def exact_similarity(a: str, b: str) -> float:
 
 
 def _numeric_token_set(tokens: Iterable[str]) -> set[str]:
+    """The subset of ``tokens`` containing at least one digit.
+
+    ``str.isdigit`` is intentionally used per character, so tokens
+    carrying *any* Unicode digit (including non-ASCII digits like
+    ``"٣"``) count as numeric when handed pre-tokenized input, even
+    though the built-in tokenizer itself only ever emits ASCII
+    ``[a-z0-9]+`` tokens. Empty-string tokens are never numeric.
+    """
     return {
         token
         for token in tokens
@@ -304,14 +341,19 @@ def product_name_similarity_tokens(
     numbers_a: frozenset[str] | set[str],
     tokens_b: Sequence[str],
     numbers_b: frozenset[str] | set[str],
+    inner: StringSimilarity = jaro_winkler_similarity,
 ) -> float:
     """Model-number-aware name similarity over pre-tokenized inputs.
 
     Identical arithmetic to :func:`product_name_similarity`; ``numbers_*``
     must be the numeric-token subsets of ``tokens_*`` (see
     :func:`repro.linkage.engine.prepare_records`, which caches both).
+    ``inner`` replaces the token-level Jaro-Winkler in both the
+    Monge-Elkan base and the model-number matching — the hook the
+    columnar batch kernels use to inject a memoized (but numerically
+    identical) token similarity.
     """
-    base = monge_elkan_tokens(tokens_a, tokens_b)
+    base = monge_elkan_tokens(tokens_a, tokens_b, inner)
     if not numbers_a and not numbers_b:
         return base
     if not numbers_a or not numbers_b:
@@ -319,7 +361,7 @@ def product_name_similarity_tokens(
     matched = 0
     for token_a in numbers_a:
         if any(
-            jaro_winkler_similarity(token_a, token_b) >= 0.8
+            inner(token_a, token_b) >= 0.8
             for token_b in numbers_b
         ):
             matched += 1
