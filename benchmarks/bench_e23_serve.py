@@ -1,0 +1,305 @@
+"""E23 — serving: ingest throughput and query latency under mixed load.
+
+The serving layer (`repro.serve`) answers ``match``/``get`` queries
+from a durable entity store while records keep arriving. This
+experiment measures what that costs on the standard linkage corpus:
+
+* **bulk ingest** — records/sec through the durable path (fsynced log
+  append + incremental linking + per-entity online fusion);
+* **mixed traffic** — the synthetic workload driver issues a seeded
+  ingest/match/get mix; query p50/p99 (ms) are reported with a full
+  batch refresh (new generation + atomic swap) fired mid-load, so the
+  percentiles include reads taken across a generation swap;
+* **read path** — the pytest-benchmark kernel times a pure query
+  workload against the warm, cached service.
+
+``BENCH_service.json`` at the repo root records the numbers plus a
+``p99_budget_ms`` (a generous multiple of the measured p99) that
+``benchmarks/check_serve_latency.py`` gates against in CI.
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_e23_serve.py --no-bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_common import emit, linkage_corpus, render_table
+
+from repro.linkage import (
+    StandardBlocker,
+    ThresholdClassifier,
+    default_product_comparator,
+)
+from repro.linkage.blocking import first_token_key
+from repro.obs import Tracer
+from repro.serve import (
+    ResolutionService,
+    TrafficConfig,
+    percentile,
+    run_traffic,
+)
+
+THRESHOLD = 0.72
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+#: The gate budget is this multiple of the measured mixed-load p99,
+#: floored — machines differ, regressions of interest are order-of-
+#: magnitude (a lock held across batch work, an uncached read path).
+BUDGET_MULTIPLIER = 10.0
+BUDGET_FLOOR_MS = 50.0
+
+
+def _corpus(n_entities: int, n_sources: int):
+    dataset = linkage_corpus(n_entities=n_entities, n_sources=n_sources)
+    return list(dataset.records())
+
+
+def _service(root, tracer=None) -> ResolutionService:
+    return ResolutionService(
+        root,
+        key_functions=[first_token_key("name")],
+        comparator=default_product_comparator(),
+        classifier=ThresholdClassifier(THRESHOLD),
+        refresh_blocker=StandardBlocker(first_token_key("name")),
+        tracer=tracer,
+    )
+
+
+def _run_phases(records, n_ops: int, seed: int = 11):
+    """Bulk ingest, then mixed traffic with a mid-load refresh."""
+    tracer = Tracer()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as root:
+        service = _service(root, tracer=tracer)
+
+        bulk = records[: len(records) // 2]
+        start = time.perf_counter()
+        for record in bulk:
+            service.ingest(record)
+        bulk_seconds = time.perf_counter() - start
+
+        pool = records[len(records) // 2 :]
+        half = TrafficConfig(
+            n_ops=n_ops // 2, ingest_fraction=0.3, get_fraction=0.35,
+            seed=seed,
+        )
+        first = run_traffic(service, pool[: len(pool) // 2], half)
+        # The background refresh: batch re-resolution into a new
+        # generation, swapped atomically while traffic continues.
+        refresh = service.refresh_async()
+        second = run_traffic(
+            service,
+            pool[len(pool) // 2 :],
+            TrafficConfig(
+                n_ops=n_ops - half.n_ops, ingest_fraction=0.3,
+                get_fraction=0.35, seed=seed + 1,
+            ),
+        )
+        refresh.join(timeout=600)
+        generation = service.generation
+
+        queries = first.query_latencies() + second.query_latencies()
+        ingest_latencies = (
+            first.latencies["ingest"] + second.latencies["ingest"]
+        )
+        counters = {
+            name: counter.value
+            for name, counter in tracer.metrics._counters.items()
+            if name.startswith("serve.")
+        }
+    mixed_ingested = first.ingested + second.ingested
+    return {
+        "bulk": {
+            "records": len(bulk),
+            "seconds": round(bulk_seconds, 4),
+            "records_per_sec": round(len(bulk) / bulk_seconds, 1)
+            if bulk_seconds
+            else float("inf"),
+        },
+        "mixed": {
+            "ops": first.n_ops + second.n_ops,
+            "ingested": mixed_ingested,
+            "queries": len(queries),
+            "matches_found": first.matches_found + second.matches_found,
+            "query_p50_ms": round(percentile(queries, 50.0) * 1000.0, 4),
+            "query_p99_ms": round(percentile(queries, 99.0) * 1000.0, 4),
+            "ingest_p50_ms": round(
+                percentile(ingest_latencies, 50.0) * 1000.0, 4
+            ),
+            "ingest_p99_ms": round(
+                percentile(ingest_latencies, 99.0) * 1000.0, 4
+            ),
+        },
+        "generation": generation,
+        "counters": counters,
+    }
+
+
+def _sanity(results) -> None:
+    counters = results["counters"]
+    if results["generation"] < 1 or not counters.get(
+        "serve.generation_swaps"
+    ):
+        raise SystemExit("mid-load refresh never swapped a generation")
+    if not counters.get("serve.cache_hits"):
+        raise SystemExit("read path never hit the generation cache")
+    if counters.get("serve.quarantined_ingests"):
+        raise SystemExit("fault-free run quarantined ingests")
+
+
+def _budget_ms(results) -> float:
+    return round(
+        max(
+            BUDGET_MULTIPLIER * results["mixed"]["query_p99_ms"],
+            BUDGET_FLOOR_MS,
+        ),
+        1,
+    )
+
+
+def _write_json(results, n_entities, n_sources, path=RESULT_PATH):
+    payload = {
+        "experiment": "E23 serving under mixed load",
+        "corpus": {
+            "n_entities": n_entities,
+            "n_sources": n_sources,
+            "categories": ["camera", "notebook"],
+        },
+        "threshold": THRESHOLD,
+        "unix_time": round(time.time(), 1),
+        "p99_budget_ms": _budget_ms(results),
+        **results,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+HEADERS = ["phase", "ops", "p50 ms", "p99 ms", "throughput"]
+
+
+def _rows(results):
+    bulk, mixed = results["bulk"], results["mixed"]
+    return [
+        [
+            "bulk ingest",
+            bulk["records"],
+            "-",
+            "-",
+            f"{bulk['records_per_sec']}/s",
+        ],
+        [
+            "mixed ingest",
+            mixed["ingested"],
+            mixed["ingest_p50_ms"],
+            mixed["ingest_p99_ms"],
+            "-",
+        ],
+        [
+            "mixed query",
+            mixed["queries"],
+            mixed["query_p50_ms"],
+            mixed["query_p99_ms"],
+            "-",
+        ],
+    ]
+
+
+NOTE = (
+    "Expected shape: queries orders of magnitude cheaper than ingests "
+    "(probe + cache vs fsync + link + fuse); one generation swap "
+    "mid-load with nonzero cache hits; p99 well under the recorded "
+    "budget."
+)
+
+
+def bench_e23_serve(benchmark, capsys):
+    n_entities, n_sources = 40, 8
+    records = _corpus(n_entities, n_sources)
+    results = _run_phases(records, n_ops=400)
+    _sanity(results)
+
+    # The benchmark kernel: the pure read path against a warm service.
+    with tempfile.TemporaryDirectory() as root:
+        service = _service(root)
+        for record in records[:200]:
+            service.ingest(record)
+        probes = records[200:260]
+
+        def kernel():
+            found = 0
+            for probe in probes:
+                if service.match(probe) is not None:
+                    found += 1
+            return found
+
+        benchmark(kernel)
+
+    _write_json(results, n_entities, n_sources)
+    emit(
+        capsys,
+        "E23: serving — ingest throughput and query latency "
+        f"({n_entities} entities x {n_sources} sources, mixed load)",
+        HEADERS,
+        _rows(results),
+        note=NOTE,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="table-only mode (this entry point never runs the "
+        "pytest-benchmark kernel anyway)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus smoke run; does not overwrite "
+        "BENCH_service.json",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="where to write machine-readable results "
+        "(default: BENCH_service.json at the repo root; "
+        "--quick writes nowhere unless --json is given)",
+    )
+    args = parser.parse_args(argv)
+
+    n_entities, n_sources = (12, 4) if args.quick else (40, 8)
+    n_ops = 120 if args.quick else 400
+    records = _corpus(n_entities, n_sources)
+    results = _run_phases(records, n_ops=n_ops)
+    _sanity(results)
+
+    path = args.json
+    if path is None and not args.quick:
+        path = RESULT_PATH
+    if path is not None:
+        _write_json(results, n_entities, n_sources, path)
+        print(f"results -> {path}")
+
+    print(
+        render_table(
+            HEADERS,
+            _rows(results),
+            title="E23: serving — ingest throughput and query latency "
+            f"({n_entities} entities x {n_sources} sources, "
+            f"{n_ops} mixed ops)",
+        )
+    )
+    print(NOTE)
+
+
+if __name__ == "__main__":
+    main()

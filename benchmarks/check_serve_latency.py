@@ -1,0 +1,77 @@
+"""Gate: serving query p99 stays under the recorded budget.
+
+``BENCH_service.json`` (written by ``bench_e23_serve.py``) records a
+``p99_budget_ms`` — a generous multiple of the query p99 measured under
+mixed load, floored so machine variance cannot trip it. This gate
+re-runs a mixed workload (with a mid-load generation refresh, exactly
+like the bench) and fails the build when:
+
+1. the measured query p99 exceeds the recorded budget — the read path
+   picked up qualitative cost (a lock held across batch work, a cache
+   that stopped hitting, fsyncs on the query path);
+2. the read cache never hit, or no generation swap happened — the
+   workload stopped exercising the machinery the budget was set for;
+3. any fault-free ingest was quarantined.
+
+Run:  PYTHONPATH=src python benchmarks/check_serve_latency.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_e23_serve import _corpus, _run_phases, _sanity
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus (CI smoke size)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help="BENCH_service.json to read the budget from",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"no baseline at {args.baseline}; run "
+            "benchmarks/bench_e23_serve.py first"
+        )
+    baseline = json.loads(args.baseline.read_text())
+    budget_ms = baseline["p99_budget_ms"]
+
+    n_entities, n_sources = (12, 4) if args.quick else (40, 8)
+    n_ops = 120 if args.quick else 400
+    results = _run_phases(_corpus(n_entities, n_sources), n_ops=n_ops)
+    _sanity(results)
+
+    p99_ms = results["mixed"]["query_p99_ms"]
+    print(
+        f"query p99 {p99_ms:.3f} ms vs budget {budget_ms:.1f} ms "
+        f"(recorded p99 {baseline['mixed']['query_p99_ms']:.3f} ms); "
+        f"cache hits {results['counters'].get('serve.cache_hits', 0):g}, "
+        f"generation swaps "
+        f"{results['counters'].get('serve.generation_swaps', 0):g}"
+    )
+    if p99_ms > budget_ms:
+        raise SystemExit(
+            f"serving latency regression: query p99 {p99_ms:.3f} ms "
+            f"exceeds the recorded budget {budget_ms:.1f} ms"
+        )
+    print("serving latency gate: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -54,7 +54,11 @@ from repro.linkage.identifier import (
     link_by_identifier,
     normalize_identifier,
 )
-from repro.linkage.incremental import BatchStats, IncrementalLinker
+from repro.linkage.incremental import (
+    BatchStats,
+    IncrementalLinker,
+    ProbeResult,
+)
 from repro.linkage.metablocking import (
     BlockingGraph,
     build_blocking_graph,
@@ -99,6 +103,7 @@ __all__ = [
     "ParallelComparisonEngine",
     "Representation",
     "PreparedRecord",
+    "ProbeResult",
     "ProgressivePoint",
     "QGramBlocker",
     "RecordComparator",

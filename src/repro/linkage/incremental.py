@@ -11,31 +11,65 @@ The quality argument (Gruenheid, Dong & Srivastava, VLDB'14) is that
 greedy incremental merging matches batch connected-components quality
 exactly when the classifier is deterministic, because union-find is
 order-insensitive — which also makes the equivalence testable.
+
+Comparisons run over prepared records (one-time normalize/tokenize per
+record, cached across batches) and, under a plain
+:class:`~repro.linkage.classify.threshold.ThresholdClassifier`, through
+the staged early-exit scorer
+:meth:`~repro.linkage.comparison.RecordComparator.score_bounded` —
+match decisions are provably identical to the full ``compare`` path
+(asserted in tests), only cheaper.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.core.errors import ConfigurationError
 from repro.core.record import Record
 from repro.core.unionfind import UnionFind
 from repro.linkage.blocking.base import Blocker, KeyFunction
-from repro.linkage.comparison import RecordComparator
+from repro.linkage.classify.threshold import ThresholdClassifier
+from repro.linkage.comparison import PreparedRecord, RecordComparator
 from repro.linkage.resolver import MatchClassifier
 
-__all__ = ["BatchStats", "IncrementalLinker"]
+__all__ = ["BatchStats", "IncrementalLinker", "ProbeResult"]
 
 
 @dataclass(frozen=True)
 class BatchStats:
-    """Cost counters for one incremental batch."""
+    """Cost counters for one incremental batch.
+
+    ``match_pairs`` lists every ``(new_record_id, existing_record_id)``
+    pair the classifier accepted, in decision order — the serving layer
+    folds these into its entity projection without re-deriving clusters.
+    """
 
     batch_size: int
     candidates: int
     comparisons: int
     matches: int
+    match_pairs: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a read-only :meth:`IncrementalLinker.probe`.
+
+    ``matches`` holds ``(record_id, score)`` for every indexed record
+    the classifier would merge with the probe record, sorted best-first
+    (descending score, ties by id). Nothing is indexed or merged.
+    """
+
+    matches: tuple[tuple[str, float], ...] = ()
+    candidates: int = 0
+    comparisons: int = 0
+
+    @property
+    def best(self) -> str | None:
+        """The best-matching record id, if any match was found."""
+        return self.matches[0][0] if self.matches else None
 
 
 class IncrementalLinker:
@@ -68,8 +102,17 @@ class IncrementalLinker:
         self._classifier = classifier
         self._max_candidates = max_candidates_per_record
         self._records: dict[str, Record] = {}
+        self._prepared: dict[str, PreparedRecord] = {}
         self._index: dict[str, list[str]] = {}
         self._uf: UnionFind[str] = UnionFind()
+        # The early-exit fast path is only provably decision-identical
+        # for the plain threshold rule (score >= match_threshold);
+        # subclasses may override is_match, so the check is exact.
+        self._threshold = (
+            classifier.match_threshold
+            if type(classifier) is ThresholdClassifier
+            else None
+        )
 
     def _keys_of(self, record: Record) -> list[str]:
         keys: list[str] = []
@@ -89,6 +132,13 @@ class IncrementalLinker:
         """Records currently indexed (removals excluded)."""
         return len(self._records)
 
+    def __contains__(self, record_id: str) -> bool:
+        return record_id in self._records
+
+    def record(self, record_id: str) -> Record | None:
+        """The indexed record with this id, or ``None``."""
+        return self._records.get(record_id)
+
     def clusters(self) -> list[list[str]]:
         """Current clustering of all records still indexed.
 
@@ -105,17 +155,31 @@ class IncrementalLinker:
         groups.sort(key=lambda group: group[0])
         return groups
 
+    def _unindex(self, record: Record, keys=None) -> None:
+        """Drop a record's index entries, deleting emptied buckets.
+
+        Leaving empty (or stale-heavy) buckets behind would grow the
+        blocking index without bound under churn — tombstoned keys must
+        go away entirely, not linger as empty lists.
+        """
+        record_id = record.record_id
+        for key in keys if keys is not None else self._keys_of(record):
+            bucket = self._index.get(key)
+            if bucket is None:
+                continue
+            remaining = [other for other in bucket if other != record_id]
+            if remaining:
+                self._index[key] = remaining
+            else:
+                del self._index[key]
+
     def remove(self, record_id: str) -> None:
         """Tombstone a record: no future candidate will compare to it."""
         record = self._records.pop(record_id, None)
         if record is None:
             return
-        for key in self._keys_of(record):
-            bucket = self._index.get(key)
-            if bucket is not None:
-                self._index[key] = [
-                    other for other in bucket if other != record_id
-                ]
+        self._prepared.pop(record_id, None)
+        self._unindex(record)
 
     def resurrect(self, record: Record) -> None:
         """Re-index a previously removed record under its old identity.
@@ -129,6 +193,7 @@ class IncrementalLinker:
                 f"record {record.record_id!r} is already indexed"
             )
         self._records[record.record_id] = record
+        self._prepared[record.record_id] = self._comparator.prepare(record)
         self._uf.add(record.record_id)
         for key in self._keys_of(record):
             self._index.setdefault(key, []).append(record.record_id)
@@ -147,45 +212,131 @@ class IncrementalLinker:
             )
         old_keys = set(self._keys_of(old))
         new_keys = set(self._keys_of(record))
-        for key in old_keys - new_keys:
-            bucket = self._index.get(key)
-            if bucket is not None:
-                self._index[key] = [
-                    other for other in bucket if other != record.record_id
-                ]
+        self._unindex(old, old_keys - new_keys)
         for key in new_keys - old_keys:
             self._index.setdefault(key, []).append(record.record_id)
         self._records[record.record_id] = record
+        self._prepared[record.record_id] = self._comparator.prepare(record)
+
+    def merge(self, record_id: str, other_id: str) -> None:
+        """Record an externally decided match (no comparisons spent).
+
+        Used to preload a known clustering (e.g. a batch re-resolution
+        restored from a durable store) or to apply a human-confirmed
+        match. Both records must have been indexed at some point.
+        """
+        for rid in (record_id, other_id):
+            if rid not in self._uf:
+                raise ConfigurationError(
+                    f"cannot merge unknown record {rid!r}"
+                )
+        self._uf.union(record_id, other_id)
+
+    def candidates(self, record: Record) -> tuple[str, ...]:
+        """Indexed records sharing a blocking key with ``record``.
+
+        Read-only (nothing is indexed), deterministic (key order, then
+        bucket insertion order), and truncated at
+        ``max_candidates_per_record`` exactly like :meth:`add_batch`.
+        """
+        candidate_ids: list[str] = []
+        seen: set[str] = set()
+        for key in self._keys_of(record):
+            for other_id in self._index.get(key, ()):
+                if other_id not in seen:
+                    seen.add(other_id)
+                    candidate_ids.append(other_id)
+        return tuple(candidate_ids[: self._max_candidates])
+
+    def _decide(
+        self,
+        prepared: PreparedRecord,
+        candidate_ids: Sequence[str],
+        exact_scores: bool,
+    ) -> list[tuple[str, float, bool]]:
+        """Classify ``prepared`` against each candidate.
+
+        Routes through :meth:`RecordComparator.score_bounded` under a
+        plain threshold classifier (early exit, identical decisions);
+        any other classifier gets the full prepared vector. With
+        ``exact_scores=False`` rejected/accepted scores may be bounds.
+        """
+        decisions: list[tuple[str, float, bool]] = []
+        for other_id in candidate_ids:
+            other = self._prepared[other_id]
+            if self._threshold is not None:
+                bounded = self._comparator.score_bounded(
+                    prepared,
+                    other,
+                    self._threshold,
+                    exact_scores=exact_scores,
+                )
+                decisions.append(
+                    (other_id, bounded.score, bounded.is_match)
+                )
+            else:
+                vector = self._comparator.compare_prepared(prepared, other)
+                decisions.append(
+                    (
+                        other_id,
+                        vector.score,
+                        self._classifier.is_match(vector),
+                    )
+                )
+        return decisions
+
+    def probe(self, record: Record) -> ProbeResult:
+        """Read-only query: which indexed records match ``record``?
+
+        The serving layer's ``match`` endpoint — candidate generation
+        and classification identical to :meth:`add_batch`, but nothing
+        is indexed or merged, so probing the same record twice (or from
+        concurrent readers) is side-effect free. Matches carry exact
+        scores, sorted best-first.
+        """
+        candidate_ids = self.candidates(record)
+        prepared = self._comparator.prepare(record)
+        decisions = self._decide(prepared, candidate_ids, exact_scores=True)
+        matches = tuple(
+            sorted(
+                (
+                    (other_id, score)
+                    for other_id, score, is_match in decisions
+                    if is_match
+                ),
+                key=lambda pair: (-pair[1], pair[0]),
+            )
+        )
+        return ProbeResult(
+            matches=matches,
+            candidates=len(candidate_ids),
+            comparisons=len(decisions),
+        )
 
     def add_batch(self, batch: Sequence[Record]) -> BatchStats:
         """Fold a batch of new records into the clustering."""
         candidates_total = 0
         comparisons = 0
-        matches = 0
+        match_pairs: list[tuple[str, str]] = []
         for record in batch:
             if record.record_id in self._records:
                 raise ConfigurationError(
                     f"record {record.record_id!r} already linked"
                 )
             keys = self._keys_of(record)
-            candidate_ids: list[str] = []
-            seen: set[str] = set()
-            for key in keys:
-                for other_id in self._index.get(key, ()):
-                    if other_id not in seen:
-                        seen.add(other_id)
-                        candidate_ids.append(other_id)
-            candidate_ids = candidate_ids[: self._max_candidates]
+            candidate_ids = self.candidates(record)
             candidates_total += len(candidate_ids)
+            prepared = self._comparator.prepare(record)
             self._records[record.record_id] = record
+            self._prepared[record.record_id] = prepared
             self._uf.add(record.record_id)
-            for other_id in candidate_ids:
-                vector = self._comparator.compare(
-                    record, self._records[other_id]
-                )
-                comparisons += 1
-                if self._classifier.is_match(vector):
-                    matches += 1
+            decisions = self._decide(
+                prepared, candidate_ids, exact_scores=False
+            )
+            comparisons += len(decisions)
+            for other_id, _, is_match in decisions:
+                if is_match:
+                    match_pairs.append((record.record_id, other_id))
                     self._uf.union(record.record_id, other_id)
             for key in keys:
                 self._index.setdefault(key, []).append(record.record_id)
@@ -193,7 +344,8 @@ class IncrementalLinker:
             batch_size=len(batch),
             candidates=candidates_total,
             comparisons=comparisons,
-            matches=matches,
+            matches=len(match_pairs),
+            match_pairs=tuple(match_pairs),
         )
 
     def batch_equivalent(self, blocker: Blocker) -> list[list[str]]:

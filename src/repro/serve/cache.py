@@ -1,0 +1,87 @@
+"""The serving read-path cache: generation-keyed, invalidated by design.
+
+Cache invalidation is where serving caches rot; this one sidesteps the
+problem structurally. Every entry is keyed by ``(version, key)`` where
+``version`` is the *generation stamp* of the store state the value was
+computed from — ``(generation, mutation_count)``. A background
+re-resolution swaps the generation, an ingest bumps the mutation count,
+and either way every previously cached entry simply stops being
+addressable: there is no invalidation code to get wrong, stale entries
+age out of the LRU on their own.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.errors import ConfigurationError
+from repro.obs import NULL_TRACER
+
+__all__ = ["GenerationCache", "MISS"]
+
+
+class _Miss:
+    """Sentinel distinguishing "not cached" from a cached ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "MISS"
+
+
+#: Returned by :meth:`GenerationCache.get` when the key is absent
+#: (``None`` is a legitimate cached value: "no matching entity").
+MISS = _Miss()
+
+
+class GenerationCache:
+    """A bounded LRU keyed by ``(version, key)``.
+
+    ``version`` is opaque to the cache — the service passes its
+    generation stamp — so entries written under one store state can
+    never answer reads against another. Hits and misses are emitted on
+    the ``serve.cache_hits`` / ``serve.cache_misses`` counters.
+    """
+
+    def __init__(self, capacity: int = 1024, tracer=None) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"cache capacity must be >= 1, got {capacity!r}"
+            )
+        self._capacity = capacity
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, version, key):
+        """The cached value for ``key`` under ``version``, or :data:`MISS`."""
+        slot = (version, key)
+        if slot in self._entries:
+            self._entries.move_to_end(slot)
+            self._tracer.counter("serve.cache_hits").inc()
+            return self._entries[slot]
+        self._tracer.counter("serve.cache_misses").inc()
+        return MISS
+
+    def put(self, version, key, value) -> None:
+        """Cache ``value`` for ``key`` under ``version`` (LRU-evicting)."""
+        slot = (version, key)
+        self._entries[slot] = value
+        self._entries.move_to_end(slot)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"GenerationCache(capacity={self._capacity}, "
+            f"entries={len(self._entries)})"
+        )

@@ -1,0 +1,645 @@
+"""The online entity-resolution service: query/ingest over a live store.
+
+:class:`ResolutionService` is the projection layer of the
+reconciliation pattern made user-facing. Four calls —
+
+* ``ingest(record)`` — durably append the record, link it through the
+  :class:`~repro.linkage.incremental.IncrementalLinker` (never the
+  batch pipeline), and re-fuse the touched entity with
+  :class:`~repro.fusion.online.OnlineFusion`;
+* ``match(record)`` — read-only: which entity would this record join?
+* ``get(entity_id)`` — the resolved entity: members, fused attributes,
+  provenance, confidence;
+* ``entities()`` — every resolved entity.
+
+Writes and reads share one lock, so every read observes a consistent
+*generation*: the full linker + entity projection built from a single
+prefix of the ingest log. A background :meth:`refresh` runs the full
+batch pipeline into a *new* generation off-lock, replays the records
+that arrived meanwhile, and swaps readers over atomically — both in
+memory (one reference assignment under the lock) and on disk (the
+:class:`~repro.serve.store.EntityStore`'s atomic ``current`` pointer).
+The read-path cache is keyed by the generation stamp, so a swap or an
+ingest invalidates it by construction rather than by bookkeeping.
+
+Durability: an acknowledged ingest has been fsynced to the record log
+*before* linking begins; a ``kill -9`` mid-ingest loses nothing that
+was acknowledged. A restarted service reloads the published generation
+artifact (byte-identical to what was saved) and replays the log suffix
+through the same deterministic incremental path, reconstructing the
+pre-crash projection.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.record import Record
+from repro.fusion.base import Claim, ClaimSet
+from repro.fusion.online import OnlineFusion
+from repro.linkage.blocking.base import Blocker, KeyFunction
+from repro.linkage.comparison import RecordComparator
+from repro.linkage.incremental import IncrementalLinker
+from repro.linkage.resolver import MatchClassifier, resolve
+from repro.obs import NULL_TRACER, SystemClock
+from repro.resilience import DeadLetterEntry, DeadLetterLog, ResilienceConfig
+from repro.serve.cache import MISS, GenerationCache
+from repro.serve.store import EntityStore, entity_id_for
+
+__all__ = ["IngestResult", "ResolutionService", "ResolvedEntity"]
+
+#: Accuracy assumed for sources the caller gave no estimate for.
+DEFAULT_SOURCE_ACCURACY = 0.8
+
+
+@dataclass(frozen=True)
+class ResolvedEntity:
+    """One resolved entity as served by :meth:`ResolutionService.get`.
+
+    ``provenance`` maps each fused attribute to the (sorted) member
+    record ids that claimed the chosen value; ``confidence`` carries
+    the fusion posterior per attribute. ``generation`` stamps which
+    resolution generation produced this view.
+    """
+
+    entity_id: str
+    members: tuple[str, ...]
+    attributes: Mapping[str, str]
+    confidence: Mapping[str, float]
+    provenance: Mapping[str, tuple[str, ...]]
+    generation: int
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one :meth:`ResolutionService.ingest` call.
+
+    ``position`` is the record's durable log position (assigned before
+    linking — it stands even if linking is quarantined). A quarantined
+    ingest has ``entity_id=None``; the record is reconciled by the next
+    refresh or restart replay.
+    """
+
+    record_id: str
+    position: int
+    entity_id: str | None
+    comparisons: int = 0
+    matched_entities: tuple[str, ...] = ()
+    quarantined: bool = False
+
+
+class _Generation:
+    """One consistent resolution state: linker + entity projection."""
+
+    __slots__ = ("number", "linker", "entities", "entity_of", "mutations")
+
+    def __init__(self, number: int, linker: IncrementalLinker) -> None:
+        self.number = number
+        self.linker = linker
+        #: entity_id -> {"members", "attributes", "confidence", "provenance"}
+        self.entities: dict[str, dict] = {}
+        #: record_id -> entity_id
+        self.entity_of: dict[str, str] = {}
+        self.mutations = 0
+
+    @property
+    def version(self) -> tuple[int, int]:
+        """The cache stamp: any swap or in-place write changes it."""
+        return (self.number, self.mutations)
+
+
+class ResolutionService:
+    """Live entity-resolution serving over a durable :class:`EntityStore`.
+
+    Parameters
+    ----------
+    root:
+        Store directory. Reopening a directory resumes the deployment:
+        the published generation is reloaded and the log suffix past
+        its watermark replayed.
+    key_functions, comparator, classifier:
+        The incremental linkage machinery (identical semantics to the
+        batch pipeline's blocking/comparison/classification).
+    refresh_blocker:
+        Batch blocker used by :meth:`refresh`; required only if
+        refreshes are requested.
+    source_accuracies:
+        Per-source accuracy estimates for fusion; unlisted sources get
+        :data:`DEFAULT_SOURCE_ACCURACY`.
+    resilience:
+        Optional :class:`ResilienceConfig` guarding the linking step of
+        every ingest (retry/skip with dead-lettering; the fault
+        injector hook fires *after* the durable log append, modelling
+        death mid-ingest).
+    cache_capacity:
+        Read-path LRU size (entries), keyed by generation stamp.
+    durable:
+        ``False`` skips fsyncs (benchmarks); atomicity is kept.
+    """
+
+    def __init__(
+        self,
+        root,
+        key_functions: Sequence[KeyFunction],
+        comparator: RecordComparator,
+        classifier: MatchClassifier,
+        refresh_blocker: Blocker | None = None,
+        source_accuracies: Mapping[str, float] | None = None,
+        resilience: ResilienceConfig | None = None,
+        cache_capacity: int = 1024,
+        max_candidates_per_record: int = 1000,
+        tracer=None,
+        fingerprint: str | None = None,
+        durable: bool = True,
+    ) -> None:
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._key_functions = tuple(key_functions)
+        self._comparator = comparator
+        self._classifier = classifier
+        self._refresh_blocker = refresh_blocker
+        self._source_accuracies = dict(source_accuracies or {})
+        self._resilience = resilience
+        self._max_candidates = max_candidates_per_record
+        self._store = EntityStore(
+            root,
+            fingerprint=fingerprint,
+            tracer=self._tracer,
+            durable=durable,
+        )
+        self._cache = GenerationCache(cache_capacity, tracer=self._tracer)
+        self._lock = threading.RLock()
+        self._dead_letters = DeadLetterLog(
+            path=resilience.dead_letter_path if resilience else None
+        )
+        self._generation = self._restore()
+
+    # --- construction / recovery -------------------------------------
+
+    def _new_linker(self) -> IncrementalLinker:
+        return IncrementalLinker(
+            self._key_functions,
+            self._comparator,
+            self._classifier,
+            max_candidates_per_record=self._max_candidates,
+        )
+
+    def _restore(self) -> _Generation:
+        """Rebuild the live generation from the store (crash-safe).
+
+        The published generation artifact supplies the resolved state
+        for the log prefix it covers (zero comparisons to reload); the
+        log suffix past its watermark is replayed through the normal
+        incremental path — deterministic, so the projection equals the
+        pre-crash one.
+        """
+        number = self._store.current_generation()
+        if number is None:
+            generation = _Generation(0, self._new_linker())
+            watermark = 0
+        else:
+            payload = self._store.load_generation(number)
+            if payload is None:
+                raise ConfigurationError(
+                    f"published generation {number} is missing or damaged "
+                    f"in store {str(self._store.root)!r}"
+                )
+            watermark = payload["watermark"]
+            generation = _Generation(number, self._new_linker())
+            for record in self._store.records_from(0, watermark):
+                generation.linker.resurrect(record)
+            for entity_id, entity in payload["entities"].items():
+                members = list(entity["members"])
+                for left, right in zip(members, members[1:]):
+                    generation.linker.merge(left, right)
+                generation.entities[entity_id] = {
+                    "members": list(members),
+                    "attributes": dict(entity["attributes"]),
+                    "confidence": dict(entity["confidence"]),
+                    "provenance": {
+                        attr: list(ids)
+                        for attr, ids in entity["provenance"].items()
+                    },
+                }
+                for member in members:
+                    generation.entity_of[member] = entity_id
+        replayed = 0
+        for record in self._store.records_from(watermark):
+            self._link_record(generation, record)
+            replayed += 1
+        if replayed:
+            self._tracer.counter("serve.replayed_records").inc(replayed)
+        return generation
+
+    # --- internals ----------------------------------------------------
+
+    def _fuse_members(self, generation: _Generation, member_ids) -> tuple[
+        dict, dict, dict
+    ]:
+        """Fuse one entity's member records into attributes/confidence/
+        provenance via online fusion (one claim per source per item)."""
+        members = [
+            generation.linker.record(member_id)
+            for member_id in sorted(member_ids)
+        ]
+        claims: list[Claim] = []
+        claimed: set[tuple[str, str]] = set()
+        for record in members:
+            for attribute in sorted(record.attributes):
+                value = record.attributes[attribute]
+                key = (record.source_id, attribute)
+                if key in claimed or not value:
+                    continue
+                claimed.add(key)
+                claims.append(Claim(record.source_id, attribute, value))
+        if not claims:
+            return {}, {}, {}
+        accuracies = {
+            record.source_id: self._source_accuracies.get(
+                record.source_id, DEFAULT_SOURCE_ACCURACY
+            )
+            for record in members
+        }
+        fusion = OnlineFusion(accuracies)
+        result, _ = fusion.run(ClaimSet(claims))
+        attributes = {
+            item: result.chosen[item] for item in sorted(result.chosen)
+        }
+        confidence = {
+            item: result.confidence.get(item, 0.0)
+            for item in sorted(result.chosen)
+        }
+        provenance = {
+            item: sorted(
+                record.record_id
+                for record in members
+                if record.attributes.get(item) == chosen
+            )
+            for item, chosen in attributes.items()
+        }
+        return attributes, confidence, provenance
+
+    def _set_entity(self, generation: _Generation, member_ids) -> str:
+        """(Re)project the entity containing ``member_ids``."""
+        entity_id = entity_id_for(member_ids)
+        attributes, confidence, provenance = self._fuse_members(
+            generation, member_ids
+        )
+        generation.entities[entity_id] = {
+            "members": sorted(member_ids),
+            "attributes": attributes,
+            "confidence": confidence,
+            "provenance": provenance,
+        }
+        for member in member_ids:
+            generation.entity_of[member] = entity_id
+        return entity_id
+
+    def _link_record(
+        self, generation: _Generation, record: Record
+    ) -> IngestResult:
+        """Fold one record into ``generation`` (linker + projection).
+
+        The single write path: live ingests, restart replay, and
+        refresh catch-up all come through here, which is what makes
+        the three provably agree.
+        """
+        if record.record_id in generation.linker:
+            # A retried attempt after a partial failure: withdraw the
+            # previous attempt's index entries before relinking.
+            generation.linker.remove(record.record_id)
+        stats = generation.linker.add_batch([record])
+        absorbed = []
+        seen = set()
+        for _, other_id in stats.match_pairs:
+            entity_id = generation.entity_of.get(other_id)
+            if entity_id is not None and entity_id not in seen:
+                seen.add(entity_id)
+                absorbed.append(entity_id)
+        members = {record.record_id}
+        for entity_id in absorbed:
+            members.update(generation.entities.pop(entity_id)["members"])
+        new_entity = self._set_entity(generation, members)
+        generation.mutations += 1
+        self._tracer.counter("serve.ingests").inc()
+        self._tracer.counter("serve.ingest_comparisons").inc(
+            stats.comparisons
+        )
+        self._tracer.counter("serve.ingest_matches").inc(stats.matches)
+        return IngestResult(
+            record_id=record.record_id,
+            position=-1,
+            entity_id=new_entity,
+            comparisons=stats.comparisons,
+            matched_entities=tuple(absorbed),
+        )
+
+    def _now(self) -> float:
+        if self._resilience is not None and self._resilience.clock is not None:
+            return self._resilience.clock.now()
+        return SystemClock().now()
+
+    def _guarded_link(
+        self, generation: _Generation, record: Record, position: int
+    ) -> IngestResult:
+        """Run the linking step under the resilience policy.
+
+        The fault injector (if any) fires per attempt with the log
+        position as the chunk index — ``kill`` specs model process
+        death *after* the durable append, mid-ingest. Quarantined
+        records stay durable-but-unlinked singletons until the next
+        refresh or restart replays them.
+        """
+        config = self._resilience
+        if config is None:
+            return self._link_record(generation, record)
+        sleep = config.sleep if config.sleep is not None else time.sleep
+        attempts = max(1, config.retry.max_attempts)
+        last_error: Exception | None = None
+        for attempt in range(1, attempts + 1):
+            try:
+                if config.fault_injector is not None:
+                    config.fault_injector.on_attempt(
+                        position, [record.record_id], attempt
+                    )
+                return self._link_record(generation, record)
+            except Exception as error:  # noqa: BLE001 - policy boundary
+                last_error = error
+                if config.failure == "fail":
+                    raise
+                if attempt < attempts:
+                    sleep(
+                        config.retry.delay(
+                            attempt, salt=f"serve.ingest.{position}"
+                        )
+                    )
+        if config.failure == "retry":
+            assert last_error is not None
+            raise last_error
+        # failure == "skip": quarantine and keep serving.
+        self._dead_letters.add(
+            DeadLetterEntry(
+                scope="serve.ingest",
+                chunk_id=str(position),
+                kind="crash",
+                error_type=type(last_error).__name__,
+                error=str(last_error),
+                attempts=attempts,
+                items=(record.record_id,),
+                quarantined_at=self._now(),
+            )
+        )
+        self._tracer.counter("serve.quarantined_ingests").inc()
+        return IngestResult(
+            record_id=record.record_id,
+            position=position,
+            entity_id=None,
+            quarantined=True,
+        )
+
+    # --- the serving API ---------------------------------------------
+
+    @property
+    def store(self) -> EntityStore:
+        return self._store
+
+    @property
+    def dead_letters(self) -> DeadLetterLog:
+        """Ingests quarantined under a ``failure="skip"`` policy."""
+        return self._dead_letters
+
+    @property
+    def generation(self) -> int:
+        """The generation number current reads are served from."""
+        with self._lock:
+            return self._generation.number
+
+    def ingest(self, record: Record) -> IngestResult:
+        """Durably ingest one record and link it incrementally.
+
+        The record is fsynced to the log *before* linking: once this
+        method has appended, the record survives any crash (the restart
+        replay relinks it). Linking runs under the resilience policy;
+        see :class:`IngestResult` for the quarantine outcome.
+        """
+        with self._lock:
+            generation = self._generation
+            if record.record_id in generation.linker:
+                raise ConfigurationError(
+                    f"record {record.record_id!r} already ingested"
+                )
+            position = self._store.append_record(record)
+            result = self._guarded_link(generation, record, position)
+            if result.quarantined:
+                return result
+            return IngestResult(
+                record_id=result.record_id,
+                position=position,
+                entity_id=result.entity_id,
+                comparisons=result.comparisons,
+                matched_entities=result.matched_entities,
+            )
+
+    def match(self, record: Record) -> str | None:
+        """Which entity would ``record`` resolve to? (read-only)
+
+        Probes the incremental linker without indexing anything;
+        ``None`` means no indexed record matches. Results are cached
+        under the generation stamp, so refreshes and ingests invalidate
+        by construction.
+        """
+        with self._lock:
+            generation = self._generation
+            key = (
+                "match",
+                record.record_id,
+                record.source_id,
+                tuple(sorted(record.attributes.items())),
+            )
+            cached = self._cache.get(generation.version, key)
+            self._tracer.counter("serve.queries").inc()
+            if cached is not MISS:
+                return cached
+            probe = generation.linker.probe(record)
+            entity_id = None
+            for other_id, _ in probe.matches:
+                entity_id = generation.entity_of.get(other_id)
+                if entity_id is not None:
+                    break
+            self._cache.put(generation.version, key, entity_id)
+            if entity_id is not None:
+                self._tracer.counter("serve.matches_found").inc()
+            return entity_id
+
+    def get(self, entity_id: str) -> ResolvedEntity | None:
+        """The resolved entity with this id, or ``None``."""
+        with self._lock:
+            generation = self._generation
+            key = ("entity", entity_id)
+            cached = self._cache.get(generation.version, key)
+            self._tracer.counter("serve.queries").inc()
+            if cached is not MISS:
+                return cached
+            entity = generation.entities.get(entity_id)
+            resolved = None
+            if entity is not None:
+                resolved = ResolvedEntity(
+                    entity_id=entity_id,
+                    members=tuple(entity["members"]),
+                    attributes=dict(entity["attributes"]),
+                    confidence=dict(entity["confidence"]),
+                    provenance={
+                        attr: tuple(ids)
+                        for attr, ids in entity["provenance"].items()
+                    },
+                    generation=generation.number,
+                )
+            self._cache.put(generation.version, key, resolved)
+            return resolved
+
+    def entities(self) -> tuple[ResolvedEntity, ...]:
+        """Every resolved entity, sorted by entity id."""
+        with self._lock:
+            generation = self._generation
+            return tuple(
+                ResolvedEntity(
+                    entity_id=entity_id,
+                    members=tuple(entity["members"]),
+                    attributes=dict(entity["attributes"]),
+                    confidence=dict(entity["confidence"]),
+                    provenance={
+                        attr: tuple(ids)
+                        for attr, ids in entity["provenance"].items()
+                    },
+                    generation=generation.number,
+                )
+                for entity_id, entity in sorted(generation.entities.items())
+            )
+
+    def snapshot(self) -> dict:
+        """A canonical, JSON-able view of the current projection.
+
+        Taken under the lock, so it is internally consistent (one
+        generation); used by the equivalence and crash tests to compare
+        whole services.
+        """
+        with self._lock:
+            generation = self._generation
+            return {
+                "generation": generation.number,
+                "entities": self._canonical_entities(generation),
+            }
+
+    @staticmethod
+    def _canonical_entities(generation: _Generation) -> dict:
+        return {
+            entity_id: {
+                "members": sorted(entity["members"]),
+                "attributes": {
+                    attr: entity["attributes"][attr]
+                    for attr in sorted(entity["attributes"])
+                },
+                "confidence": {
+                    attr: entity["confidence"][attr]
+                    for attr in sorted(entity["confidence"])
+                },
+                "provenance": {
+                    attr: sorted(entity["provenance"][attr])
+                    for attr in sorted(entity["provenance"])
+                },
+            }
+            for entity_id, entity in sorted(generation.entities.items())
+        }
+
+    # --- background refresh ------------------------------------------
+
+    def refresh(self) -> int:
+        """Full batch re-resolution into a new generation; atomic swap.
+
+        The expensive part — batch blocking/comparison/clustering over
+        the log prefix — runs *without* the lock, so serving continues.
+        Under the lock, records ingested meanwhile are replayed into
+        the new generation through the normal incremental path, the
+        generation is durably saved and published, and readers are
+        swapped with a single reference assignment. Concurrent readers
+        therefore always see either the old generation or the complete
+        new one.
+        """
+        if self._refresh_blocker is None:
+            raise ConfigurationError(
+                "refresh requires a refresh_blocker (the batch blocker "
+                "to re-resolve with)"
+            )
+        with self._lock:
+            watermark = self._store.log_length
+            number = self._generation.number + 1
+        base_records = list(self._store.records_from(0, watermark))
+        result = resolve(
+            base_records,
+            self._refresh_blocker,
+            self._comparator,
+            self._classifier,
+            clustering="components",
+        )
+        fresh = _Generation(number, self._new_linker())
+        for record in base_records:
+            fresh.linker.resurrect(record)
+        for cluster in result.clusters:
+            for left, right in zip(cluster, cluster[1:]):
+                fresh.linker.merge(left, right)
+            self._set_entity(fresh, cluster)
+        with self._lock:
+            caught_up = 0
+            for record in self._store.records_from(watermark):
+                self._link_record(fresh, record)
+                caught_up += 1
+            if caught_up:
+                self._tracer.counter("serve.replayed_records").inc(
+                    caught_up
+                )
+            self._store.save_generation(
+                fresh.number,
+                self._store.log_length,
+                self._canonical_entities(fresh),
+            )
+            self._store.publish_generation(fresh.number)
+            self._generation = fresh
+            self._tracer.counter("serve.refreshes").inc()
+            return fresh.number
+
+    def refresh_async(self) -> threading.Thread:
+        """The background refresh hook: :meth:`refresh` on a thread."""
+        thread = threading.Thread(
+            target=self.refresh, name="serve-refresh", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def checkpoint(self) -> int:
+        """Durably persist the *current* generation's projection as-is.
+
+        Cheaper than :meth:`refresh` (no batch re-resolution): saves
+        the live projection with the current log watermark and
+        republishes the same generation number, shrinking the replay
+        a restart must do.
+        """
+        with self._lock:
+            generation = self._generation
+            self._store.save_generation(
+                generation.number,
+                self._store.log_length,
+                self._canonical_entities(generation),
+            )
+            self._store.publish_generation(generation.number)
+            return generation.number
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"ResolutionService(root={str(self._store.root)!r}, "
+                f"generation={self._generation.number}, "
+                f"entities={len(self._generation.entities)})"
+            )

@@ -1,0 +1,164 @@
+"""Synthetic serving traffic: deterministic mixed read/write workloads.
+
+The benchmark and the latency gate need the same thing: a reproducible
+stream of ``ingest`` / ``match`` / ``get`` operations against a
+:class:`~repro.serve.service.ResolutionService`, with per-operation
+wall-clock latencies collected for percentile reporting. Everything is
+driven by a seeded :class:`random.Random`, so two runs over the same
+record pool issue the identical operation sequence.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.record import Record
+
+__all__ = ["TrafficConfig", "TrafficResult", "percentile", "run_traffic"]
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """Shape of one synthetic workload.
+
+    Fractions pick the operation kind per step: ``ingest_fraction`` of
+    steps ingest the next record from the pool, ``get_fraction`` fetch
+    a known entity, and the rest issue read-only ``match`` probes.
+    When the ingest pool runs dry, ingest steps degrade to matches.
+    """
+
+    n_ops: int = 1000
+    ingest_fraction: float = 0.3
+    get_fraction: float = 0.35
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_ops < 1:
+            raise ConfigurationError("n_ops must be >= 1")
+        if not 0.0 <= self.ingest_fraction <= 1.0:
+            raise ConfigurationError("ingest_fraction must be in [0, 1]")
+        if not 0.0 <= self.get_fraction <= 1.0 - self.ingest_fraction:
+            raise ConfigurationError(
+                "get_fraction must be in [0, 1 - ingest_fraction]"
+            )
+
+
+@dataclass
+class TrafficResult:
+    """Latency samples (seconds) per operation kind."""
+
+    latencies: dict = field(
+        default_factory=lambda: {"ingest": [], "match": [], "get": []}
+    )
+    ingested: int = 0
+    matches_found: int = 0
+    entities_seen: int = 0
+
+    @property
+    def n_ops(self) -> int:
+        return sum(len(samples) for samples in self.latencies.values())
+
+    def query_latencies(self) -> list[float]:
+        """All read-path samples (``match`` + ``get``) pooled."""
+        return self.latencies["match"] + self.latencies["get"]
+
+    def summary(self) -> dict:
+        """Percentile summary (milliseconds), ready for BENCH JSON."""
+        queries = self.query_latencies()
+        return {
+            "ops": self.n_ops,
+            "ingested": self.ingested,
+            "queries": len(queries),
+            "matches_found": self.matches_found,
+            "query_p50_ms": percentile(queries, 50.0) * 1000.0,
+            "query_p99_ms": percentile(queries, 99.0) * 1000.0,
+            "ingest_p50_ms": percentile(self.latencies["ingest"], 50.0)
+            * 1000.0,
+            "ingest_p99_ms": percentile(self.latencies["ingest"], 99.0)
+            * 1000.0,
+        }
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation); 0.0 if empty."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError("percentile must be in [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+def run_traffic(
+    service,
+    pool: Sequence[Record],
+    config: TrafficConfig | None = None,
+    clock=time.perf_counter,
+) -> TrafficResult:
+    """Drive ``service`` with a seeded mixed read/write workload.
+
+    ``pool`` feeds the ingest side in order; ``match`` probes reuse the
+    attributes of an already-ingested record under a fresh query id
+    (so they exercise the candidate and cache paths without mutating
+    anything); ``get`` fetches a uniformly chosen known entity id.
+    """
+    config = config or TrafficConfig()
+    rng = random.Random(config.seed)
+    result = TrafficResult()
+    ingested: list[Record] = []
+    entity_ids: list[str] = []
+    cursor = 0
+    for step in range(config.n_ops):
+        roll = rng.random()
+        kind = "match"
+        if roll < config.ingest_fraction and cursor < len(pool):
+            kind = "ingest"
+        elif roll < config.ingest_fraction + config.get_fraction:
+            kind = "get"
+        if kind != "ingest" and not ingested:
+            if cursor >= len(pool):
+                break
+            kind = "ingest"
+        if kind == "ingest":
+            record = pool[cursor]
+            cursor += 1
+            start = clock()
+            outcome = service.ingest(record)
+            result.latencies["ingest"].append(clock() - start)
+            ingested.append(record)
+            result.ingested += 1
+            if outcome.entity_id is not None:
+                entity_ids.append(outcome.entity_id)
+        elif kind == "get":
+            entity_id = entity_ids[rng.randrange(len(entity_ids))]
+            start = clock()
+            entity = service.get(entity_id)
+            result.latencies["get"].append(clock() - start)
+            if entity is not None:
+                result.entities_seen += 1
+        else:
+            base = ingested[rng.randrange(len(ingested))]
+            probe = Record(
+                record_id=f"query/{step}",
+                source_id="traffic-query",
+                attributes=base.attributes,
+            )
+            start = clock()
+            entity_id = service.match(probe)
+            result.latencies["match"].append(clock() - start)
+            if entity_id is not None:
+                result.matches_found += 1
+    return result

@@ -1,0 +1,128 @@
+"""Sacrificial subprocess for the serving kill/restart acceptance test.
+
+The serving durability contract is: an acknowledged ingest (the record
+log append returned) survives ``kill -9``, and a restarted service
+reconstructs the exact pre-crash projection — byte-identical
+``EntityStore`` artifacts for completed generations, equal snapshots
+for the replayed tail. ``os._exit`` cannot be survived in-process, so
+this driver is the process built to die.
+
+Invocations
+-----------
+
+``serve_driver.py ROOT --n N [--refresh-at K] [--kill-at J]``
+    Ingest the first N of :func:`build_records` into a service rooted
+    at ROOT, refreshing (durable generation + atomic publish) right
+    after the K-th ingest. With ``--kill-at J`` the fault injector
+    kills the process (exit 137) while ingesting log position J —
+    *after* the durable append, before linking — and prints nothing.
+    Otherwise prints the final snapshot as JSON.
+
+``serve_driver.py ROOT --report``
+    Reopen the store (restart replay runs in the constructor) and
+    print the snapshot — the restarted server's view.
+
+Both success modes print ``{"generation", "snapshot", "log_length",
+"generation_sha"}`` so the test can compare a murdered-and-restarted
+deployment against one that never died.
+"""
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.core import Record  # noqa: E402
+from repro.linkage import (  # noqa: E402
+    StandardBlocker,
+    ThresholdClassifier,
+    default_product_comparator,
+)
+from repro.linkage.blocking import first_token_key  # noqa: E402
+from repro.resilience import ResilienceConfig, RetryPolicy  # noqa: E402
+from repro.resilience.testing import FaultInjector, kill  # noqa: E402
+from repro.serve import ResolutionService  # noqa: E402
+
+_BRANDS = ("canon", "nikon", "sony", "kodak", "fuji")
+
+
+def build_records(n: int) -> list[Record]:
+    """A deterministic stream of n records over ~n/3 true entities.
+
+    Every third record describes the same camera from a different
+    source (with light value disagreement for fusion to resolve), so
+    the stream exercises singleton creation, cluster joins, and
+    cross-source conflicts.
+    """
+    records = []
+    for i in range(n):
+        entity = i // 3
+        source = f"s{i % 3}"
+        brand = _BRANDS[entity % len(_BRANDS)]
+        attributes = {
+            "name": f"{brand} powershot model{entity}",
+            "brand": brand if i % 3 != 2 else brand.upper(),
+            "zoom": f"{3 + entity % 4}x",
+        }
+        records.append(Record(f"{source}/r{i}", source, attributes))
+    return records
+
+
+def build_service(root, kill_at=None) -> ResolutionService:
+    resilience = None
+    if kill_at is not None:
+        resilience = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+            failure="fail",
+            fault_injector=FaultInjector(kill(chunk=kill_at)),
+        )
+    return ResolutionService(
+        root,
+        key_functions=[first_token_key("name")],
+        comparator=default_product_comparator(),
+        classifier=ThresholdClassifier(0.72),
+        refresh_blocker=StandardBlocker(first_token_key("name")),
+        source_accuracies={"s0": 0.9, "s1": 0.8, "s2": 0.6},
+        resilience=resilience,
+    )
+
+
+def report(service: ResolutionService) -> dict:
+    generation = service.generation
+    raw = service.store.generation_bytes(generation)
+    return {
+        "generation": generation,
+        "log_length": service.store.log_length,
+        "snapshot": service.snapshot(),
+        "generation_sha": (
+            hashlib.sha256(raw).hexdigest() if raw is not None else None
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("root")
+    parser.add_argument("--n", type=int, default=24)
+    parser.add_argument("--refresh-at", type=int, default=None)
+    parser.add_argument("--kill-at", type=int, default=None)
+    parser.add_argument("--report", action="store_true")
+    args = parser.parse_args()
+
+    service = build_service(args.root, kill_at=args.kill_at)
+    if not args.report:
+        for index, record in enumerate(build_records(args.n)):
+            service.ingest(record)
+            if args.refresh_at is not None and index + 1 == args.refresh_at:
+                service.refresh()
+    print(json.dumps(report(service), sort_keys=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -264,3 +264,54 @@ class TestOnlineFusion:
             OnlineFusion({})
         with pytest.raises(ConfigurationError):
             OnlineFusion({"s": 0.9}, stop_posterior=0.3)
+
+
+class TestOnlineFusionSparseClaims:
+    """Degenerate claim sets the serving layer feeds per entity:
+    single-source entities and sources that abstain on most items."""
+
+    def test_single_source_takes_every_claim(self):
+        claims = claim_set(
+            [("s1", "brand", "canon"), ("s1", "zoom", "4x")]
+        )
+        online = OnlineFusion({"s1": 0.8})
+        result, trace = online.run(claims)
+        assert result.chosen == {"brand": "canon", "zoom": "4x"}
+        # An unopposed claim still carries real (sub-certain) posterior.
+        assert all(0.5 < result.confidence[i] <= 1.0 for i in result.chosen)
+        assert trace.probe_order == ("s1",)
+
+    def test_single_claim_single_item(self):
+        online = OnlineFusion({"only": 0.9})
+        result, __ = online.run(claim_set([("only", "item", "value")]))
+        assert result.chosen == {"item": "value"}
+
+    def test_mostly_abstaining_sources(self):
+        # Three sources, three items, but each source claims only one
+        # item — every item is effectively single-source.
+        claims = claim_set(
+            [("s1", "a", "1"), ("s2", "b", "2"), ("s3", "c", "3")]
+        )
+        online = OnlineFusion({"s1": 0.9, "s2": 0.8, "s3": 0.7})
+        result, __ = online.run(claims)
+        assert result.chosen == {"a": "1", "b": "2", "c": "3"}
+
+    def test_abstention_does_not_vote(self):
+        # s2 abstains on "a": s1's unopposed claim must win even though
+        # s2 is the more accurate source overall.
+        claims = claim_set(
+            [
+                ("s1", "a", "canon"),
+                ("s1", "b", "4x"),
+                ("s2", "b", "9x"),
+            ]
+        )
+        online = OnlineFusion({"s1": 0.6, "s2": 0.95})
+        result, __ = online.run(claims)
+        assert result.chosen["a"] == "canon"
+        assert result.chosen["b"] == "9x"
+
+    def test_empty_claim_set_rejected(self):
+        online = OnlineFusion({"s1": 0.8})
+        with pytest.raises(EmptyInputError):
+            online.run(ClaimSet())

@@ -148,3 +148,172 @@ class TestIncrementalLinker:
         linker.add_batch(records)
         flattened = [m for c in linker.clusters() for m in c]
         assert sorted(flattened) == sorted(r.record_id for r in records)
+
+
+class _DelegatingClassifier:
+    """A threshold rule that is *not* a ``ThresholdClassifier`` subtype,
+    forcing the linker onto the full-comparison slow path."""
+
+    def __init__(self, threshold):
+        self._inner = ThresholdClassifier(threshold)
+
+    def is_match(self, vector):
+        return self._inner.is_match(vector)
+
+
+class TestIncrementalChurn:
+    """remove/resurrect/update lifecycle and index hygiene."""
+
+    def _make(self, classifier=None, max_candidates=10_000):
+        return IncrementalLinker(
+            [all_value_tokens],
+            default_product_comparator(),
+            classifier or ThresholdClassifier(0.72),
+            max_candidates_per_record=max_candidates,
+        )
+
+    def test_remove_deletes_emptied_buckets(self):
+        linker = self._make()
+        linker.add_batch(
+            [
+                Record("a", "s", {"name": "canon powershot a560"}),
+                Record("b", "s", {"name": "nikon coolpix p50"}),
+            ]
+        )
+        keys_before = set(linker._index)
+        linker.remove("b")
+        # Every key unique to b is gone entirely, not left as an empty
+        # (or b-only) bucket.
+        assert all(bucket for bucket in linker._index.values())
+        assert all(
+            "b" not in bucket for bucket in linker._index.values()
+        )
+        assert set(linker._index) < keys_before
+
+    def test_update_deletes_abandoned_buckets(self):
+        linker = self._make()
+        linker.add_batch([Record("a", "s", {"name": "canon alpha"})])
+        linker.update(Record("a", "s", {"name": "canon beta"}))
+        assert "alpha" not in linker._index
+        assert "a" in linker._index["beta"]
+        # Shared keys survive with the record still bucketed once.
+        assert linker._index["canon"].count("a") == 1
+
+    def test_churn_never_leaks_index_entries(self, corpus):
+        records = list(corpus.records())[:80]
+        linker = self._make()
+        linker.add_batch(records)
+        for record in records[:40]:
+            linker.remove(record.record_id)
+        for record in records[:40]:
+            linker.resurrect(record)
+            linker.update(record)
+        alive = {record.record_id for record in records}
+        for key, bucket in linker._index.items():
+            assert bucket, f"empty bucket {key!r} left behind"
+            assert len(set(bucket)) == len(bucket), f"duplicates in {key!r}"
+            assert set(bucket) <= alive
+
+    def test_remove_resurrect_update_keeps_clusters(self):
+        linker = self._make()
+        matched = [
+            Record("a", "s1", {"name": "canon powershot a560"}),
+            Record("b", "s2", {"name": "canon powershot a560"}),
+        ]
+        linker.add_batch(matched)
+        assert linker.clusters() == [["a", "b"]]
+        linker.remove("b")
+        assert linker.clusters() == [["a"]]
+        # Resurrection restores the old identity — and with it the old
+        # union-find merge, without spending a single comparison.
+        linker.resurrect(Record("b", "s2", {"name": "canon powershot"}))
+        assert sorted(map(sorted, linker.clusters())) == [["a", "b"]]
+        # An in-place update re-keys the index but never unlinks.
+        linker.update(Record("b", "s2", {"name": "fuji finepix z5"}))
+        assert sorted(map(sorted, linker.clusters())) == [["a", "b"]]
+        assert "b" in linker._index["fuji"]
+
+    def test_resurrect_of_live_record_rejected(self):
+        linker = self._make()
+        record = Record("a", "s", {"name": "canon a560"})
+        linker.add_batch([record])
+        with pytest.raises(ConfigurationError):
+            linker.resurrect(record)
+
+    def test_update_of_unknown_record_rejected(self):
+        linker = self._make()
+        with pytest.raises(ConfigurationError):
+            linker.update(Record("ghost", "s", {"name": "x"}))
+
+    def test_truncation_is_deterministic(self, corpus):
+        records = list(corpus.records())[:120]
+        runs = []
+        for _ in range(2):
+            linker = self._make(max_candidates=3)
+            stats = [
+                linker.add_batch(records[start : start + 40])
+                for start in range(0, len(records), 40)
+            ]
+            runs.append(
+                (
+                    [s.candidates for s in stats],
+                    [s.match_pairs for s in stats],
+                    sorted(map(sorted, linker.clusters())),
+                )
+            )
+        assert runs[0] == runs[1]
+        # The cap actually binds on this corpus.
+        unbounded = self._make()
+        unbounded_stats = unbounded.add_batch(records)
+        bounded_candidates = sum(runs[0][0])
+        assert bounded_candidates < unbounded_stats.candidates
+        assert bounded_candidates <= 3 * len(records)
+
+    def test_fast_path_decisions_equal_slow_path(self, corpus):
+        """score_bounded + prepared records must decide exactly like the
+        full compare path (same matches, same clusters, same stats)."""
+        records = list(corpus.records())[:150]
+        fast = self._make(ThresholdClassifier(0.72))
+        slow = self._make(_DelegatingClassifier(0.72))
+        assert fast._threshold is not None  # fast path engaged
+        assert slow._threshold is None  # slow path engaged
+        for start in range(0, len(records), 50):
+            batch = records[start : start + 50]
+            fast_stats = fast.add_batch(batch)
+            slow_stats = slow.add_batch(batch)
+            assert fast_stats.match_pairs == slow_stats.match_pairs
+            assert fast_stats.candidates == slow_stats.candidates
+            assert fast_stats.comparisons == slow_stats.comparisons
+        assert sorted(map(sorted, fast.clusters())) == sorted(
+            map(sorted, slow.clusters())
+        )
+
+    def test_probe_is_read_only_and_matches_add(self):
+        linker = self._make()
+        linker.add_batch(
+            [
+                Record("a", "s1", {"name": "canon powershot a560"}),
+                Record("x", "s1", {"name": "nikon coolpix p50"}),
+            ]
+        )
+        probe = Record("q", "s2", {"name": "canon powershot a560"})
+        first = linker.probe(probe)
+        second = linker.probe(probe)
+        assert first == second
+        assert first.best == "a"
+        assert "q" not in linker
+        assert linker.n_records == 2
+        # The probe's verdict equals what ingesting would decide.
+        stats = linker.add_batch([probe])
+        assert [pair[1] for pair in stats.match_pairs] == [
+            record_id for record_id, _ in first.matches
+        ]
+
+    def test_merge_requires_known_records(self):
+        linker = self._make()
+        linker.add_batch([Record("a", "s", {"name": "canon a560"})])
+        with pytest.raises(ConfigurationError):
+            linker.merge("a", "ghost")
+        linker.add_batch([Record("b", "s", {"name": "fuji z5"})])
+        linker.merge("a", "b")
+        assert sorted(map(sorted, linker.clusters())) == [["a", "b"]]

@@ -774,7 +774,7 @@ class TestProperties:
 
     @settings(max_examples=15, deadline=None)
     @given(records=random_records())
-    def test_spill_count_monotone_nonincreasing(
+    def test_spill_count_scales_down_with_budget(
         self, tmp_path_factory, records
     ):
         blocker = TokenBlocker(max_block_size=20, min_token_length=1)
@@ -792,5 +792,20 @@ class TestProperties:
                 spill_dir=tmp_path,
             )
             gauges = tracer.report().metrics.get("gauges", {})
+            assert gauges["outofcore.peak_tracked_bytes"] <= limit
             spills.append(gauges["outofcore.spill_count"])
-        assert spills == sorted(spills, reverse=True)
+        # Spill counts are NOT strictly monotone between neighbouring
+        # budgets: the spillable structures share one budget, and a
+        # roomier limit can let one structure sit resident on most of
+        # the headroom without ever flushing, squeezing a neighbour
+        # into more, smaller spills (19 identical records: 28 spills at
+        # 1 200 B but 35 at 4 000 B). The true invariants are weaker:
+        # an order-of-magnitude more memory still means fewer spills,
+        assert spills[2] <= spills[0]
+        # a budget that held everything keeps holding it as it grows
+        # (same insertion order, budget-independent charges),
+        for tighter, roomier in zip(spills, spills[1:]):
+            if tighter == 0:
+                assert roomier == 0
+        # and the roomiest tier never spills at this corpus size.
+        assert spills[-1] == 0
