@@ -1,0 +1,124 @@
+"""Gate: the sharded runtime scales and stays byte-identical.
+
+The sharded runtime exists to spread matching across workers without
+changing a single output byte, so CI holds it to both halves of that
+contract on the standard linkage corpus:
+
+* **identity** — at ``--shards`` shards the merged match pairs,
+  scored edges, and clusters equal the serial ``resolve`` exactly
+  (checked inside :func:`bench_e24_sharded.run_experiment`; any
+  mismatch is a hard failure).
+* **scaling** — the simulated-parallel makespan (coordinator time,
+  which stays serial, plus the slowest shard's worker-measured
+  matching time) must beat the full serial resolve by at least
+  ``--min-speedup``. On a multi-core machine (``os.cpu_count() >= 4``)
+  the ``process`` backend's *wall clock* is additionally required not
+  to regress below serial — a sanity check that real parallelism is
+  actually wired up; single-core containers (CI) skip that half, where
+  time-slicing makes wall-clock speedup physically impossible.
+
+Run:  PYTHONPATH=src python benchmarks/check_sharded_scaling.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_e20_engine import THRESHOLD, _corpus_pairs
+from bench_e24_sharded import run_experiment
+
+from repro.dist import sharded_resolve
+from repro.linkage import (
+    ThresholdClassifier,
+    TokenBlocker,
+    default_product_comparator,
+)
+
+
+def _wall_clock_check(records, pairs, n_shards: int, serial_seconds: float):
+    """Process-backend wall clock on a genuinely multi-core machine."""
+    start = time.perf_counter()
+    sharded_resolve(
+        records,
+        TokenBlocker(max_block_size=60),
+        default_product_comparator(),
+        ThresholdClassifier(THRESHOLD),
+        candidate_pairs=[frozenset(pair) for pair in pairs],
+        n_shards=n_shards,
+        backend="process",
+    )
+    wall = time.perf_counter() - start
+    print(f"  process wall:       {wall:.4f} s (serial {serial_seconds:.4f} s)")
+    if wall > serial_seconds * 1.5:
+        raise SystemExit(
+            f"process-backend wall clock regressed: {wall:.3f} s vs "
+            f"{serial_seconds:.3f} s serial on {os.cpu_count()} cores"
+        )
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus (CI smoke); coordinator overhead weighs "
+        "more, so the floor is checked at 8 shards instead of 4",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N timing repeats"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=1.8,
+        help="required makespan speedup over serial resolve",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count the floor applies to",
+    )
+    args = parser.parse_args(argv)
+
+    n_entities, n_sources = (20, 6) if args.quick else (60, 12)
+    gate_shards = 8 if args.quick and args.shards == 4 else args.shards
+    records, by_id, pairs = _corpus_pairs(n_entities, n_sources)
+    # run_experiment raises AssertionError on any identity mismatch.
+    serial_seconds, rows = run_experiment(records, by_id, pairs, args.repeats)
+    by_count = {row["n_shards"]: row for row in rows}
+    if gate_shards not in by_count:
+        raise SystemExit(
+            f"shard count {gate_shards} not measured (have "
+            f"{sorted(by_count)})"
+        )
+    row = by_count[gate_shards]
+
+    print("Sharded scaling gate")
+    print(f"  corpus:             {n_entities} entities x {n_sources}"
+          f" sources -> {len(pairs)} pairs")
+    print(f"  serial resolve:     {serial_seconds:.4f} s")
+    print(f"  makespan @{gate_shards}:        {row['makespan_seconds']:.4f} s"
+          f" (slowest shard {row['max_shard_seconds']:.4f} s + coordinator"
+          f" {row['coordinator_seconds']:.4f} s)")
+    print(f"  speedup:            {row['speedup_makespan']}x "
+          f"(required >= {args.min_speedup}x), skew {row['skew']}")
+    if row["speedup_makespan"] < args.min_speedup:
+        raise SystemExit(
+            f"sharded scaling regression: {row['speedup_makespan']}x < "
+            f"{args.min_speedup}x at {gate_shards} shards"
+        )
+    if (os.cpu_count() or 1) >= 4:
+        _wall_clock_check(records, pairs, gate_shards, serial_seconds)
+    else:
+        print(f"  wall-clock check:   skipped ({os.cpu_count()} core(s))")
+    print("  OK: identical output, sharded runtime keeps its scaling")
+
+
+if __name__ == "__main__":
+    main()

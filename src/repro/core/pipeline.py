@@ -47,6 +47,15 @@ class PipelineConfig:
     with backoff and, under ``failure="skip"``, quarantined into
     :attr:`PipelineResult.dead_letters` while the pipeline completes
     on the surviving pairs.
+
+    ``execution="sharded"`` runs the linkage stage hash-partitioned
+    across worker shards (:mod:`repro.dist.runtime`) — ``n_shards``
+    pins the shard count (``None`` lets the cluster cost model plan
+    it) and ``shard_backend`` picks ``"process"`` workers or the
+    sequential ``"inline"`` backend — and, with ``fusion="vote"``,
+    shards the fusion stage by item too. Output stays byte-identical
+    to the serial pipeline. Sharded execution requires the threshold
+    classifier and does not compose with ``memory_budget``.
     """
 
     schema_threshold: float = 0.6
@@ -62,6 +71,8 @@ class PipelineConfig:
     n_workers: int | None = None
     representation: str = "dict"
     resilience: ResilienceConfig | None = None
+    n_shards: int | None = None
+    shard_backend: str = "process"
 
     def __post_init__(self) -> None:
         if self.fusion not in {"vote", "truthfinder", "accuvote", "accucopy"}:
@@ -70,10 +81,20 @@ class PipelineConfig:
             raise ConfigurationError(
                 f"unknown classifier {self.classifier!r}"
             )
-        if self.execution not in {"serial", "process"}:
+        if self.execution not in {"serial", "process", "sharded"}:
             raise ConfigurationError(
                 f"unknown execution mode {self.execution!r}"
             )
+        if self.execution == "sharded" and self.classifier != "threshold":
+            raise ConfigurationError(
+                "execution='sharded' requires the threshold classifier"
+            )
+        if self.shard_backend not in {"process", "inline"}:
+            raise ConfigurationError(
+                f"unknown shard backend {self.shard_backend!r}"
+            )
+        if self.n_shards is not None and self.n_shards < 1:
+            raise ConfigurationError("n_shards must be >= 1")
         if self.representation not in {"dict", "columnar"}:
             raise ConfigurationError(
                 f"unknown representation {self.representation!r}"
@@ -258,6 +279,12 @@ class BDIPipeline:
 
         budget = spill_store = spill_temp = None
         if memory_budget is not None:
+            if config.execution == "sharded":
+                raise ConfigurationError(
+                    "memory_budget does not compose with "
+                    "execution='sharded'; shards already bound memory "
+                    "by partitioning"
+                )
             if config.classifier != "threshold":
                 raise ConfigurationError(
                     "memory_budget requires the threshold classifier"
@@ -381,6 +408,8 @@ class BDIPipeline:
                             if spill_store is not None
                             else None
                         ),
+                        n_shards=config.n_shards,
+                        shard_backend=config.shard_backend,
                     )
                     clusters = linkage.clusters
                     if config.use_identifier_linkage:
@@ -469,6 +498,32 @@ class BDIPipeline:
                 ) as span:
 
                     def compute_fusion():
+                        if (
+                            config.execution == "sharded"
+                            and config.fusion == "vote"
+                        ):
+                            # Voting is item-independent, so it shards
+                            # by item like linkage shards by entity.
+                            import os as _os
+
+                            from repro.dist.runtime import (
+                                sharded_vote_fusion,
+                            )
+
+                            fusion = sharded_vote_fusion(
+                                claim_set,
+                                n_shards=(
+                                    config.n_shards
+                                    or (_os.cpu_count() or 1)
+                                ),
+                                backend=config.shard_backend,
+                                tracer=tracer,
+                            )
+                            if config.numeric_fusion:
+                                fusion = self._refuse_numeric_items(
+                                    claim_set, fusion
+                                )
+                            return fusion
                         fusers = {
                             "vote": lambda: VotingFuser(),
                             "truthfinder": lambda: TruthFinder(

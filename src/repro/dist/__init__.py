@@ -1,5 +1,6 @@
 """Distributed-execution substrate: MapReduce engine, skew-aware
-partitioning, cluster cost model, distributed ER driver."""
+partitioning, cluster cost model, distributed ER driver, and the
+sharded pipeline runtime (:mod:`repro.dist.runtime`)."""
 
 from repro.dist.costmodel import ClusterCostModel, PartitionCost
 from repro.dist.mapreduce import (
@@ -18,7 +19,19 @@ from repro.dist.partition import (
     block_split_partition,
     naive_partition,
     pair_range_partition,
+    shard_of_key,
+    stable_key_hash,
     task_pairs,
+)
+from repro.dist.runtime import (
+    SHARD_BACKENDS,
+    ShardPlan,
+    ShardResult,
+    ShardedResolveRun,
+    plan_shards,
+    sharded_match_pairs,
+    sharded_resolve,
+    sharded_vote_fusion,
 )
 
 __all__ = [
@@ -29,11 +42,21 @@ __all__ = [
     "MatchTask",
     "PartitionCost",
     "ReducerMetrics",
+    "SHARD_BACKENDS",
+    "ShardPlan",
+    "ShardResult",
+    "ShardedResolveRun",
     "block_split_partition",
     "hash_partitioner",
     "naive_partition",
     "pair_range_partition",
     "partition_blocks",
+    "plan_shards",
     "run_distributed_linkage",
+    "shard_of_key",
+    "sharded_match_pairs",
+    "sharded_resolve",
+    "sharded_vote_fusion",
+    "stable_key_hash",
     "task_pairs",
 ]

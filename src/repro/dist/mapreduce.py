@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
 
 from repro.core.errors import ConfigurationError
+from repro.dist.partition import stable_key_hash
 from repro.obs import NULL_TRACER
 from repro.resilience import ResilienceConfig
 from repro.resilience.executor import ResilientChunkExecutor
@@ -33,11 +34,7 @@ CostFunction = Callable[[K, list[V]], float]
 def hash_partitioner(key: Hashable, n_reducers: int) -> int:
     """Stable hash partitioning (Python's hash is salted for str, so a
     deterministic fold over the repr is used instead)."""
-    text = repr(key)
-    value = 0
-    for character in text:
-        value = (value * 131 + ord(character)) % 1_000_000_007
-    return value % n_reducers
+    return stable_key_hash(repr(key)) % n_reducers
 
 
 @dataclass(frozen=True)

@@ -114,6 +114,11 @@ def run_distributed_linkage(
     rerun over the same blocks and records against the same store
     resumes from the last completed chunk instead of rescoring from
     scratch.
+
+    ``execution="sharded"`` scores the deduplicated workload through
+    :func:`repro.dist.runtime.sharded_match_pairs` — ``n_workers``
+    (default ``n_reducers``) real shards, each with its own checkpoint
+    namespace — instead of one engine; memoization is implied.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
     cost_model = cost_model or ClusterCostModel()
@@ -138,21 +143,40 @@ def run_distributed_linkage(
                     raw_pairs.append((left_id, right_id))
                     reducer_pairs += 1
             per_reducer.observe(float(reducer_pairs))
-        # First-occurrence dedup (order-preserving, orientation-stable) —
-        # the per-run comparison cache.
-        unique_pairs: list[tuple[str, str]] = []
-        seen: set[frozenset[str]] = set()
-        for pair in raw_pairs:
-            key = frozenset(pair)
-            if key not in seen:
-                seen.add(key)
-                unique_pairs.append(pair)
-        engine = ParallelComparisonEngine(
-            comparator, execution=execution, n_workers=n_workers,
-            tracer=tracer, resilience=resilience, checkpoint=checkpoint,
+        # Canonical dedup — the per-run comparison cache. Normalizing to
+        # sorted (min, max) pairs makes the scored workload independent
+        # of reducer assignment order: two partitionings of the same
+        # blocks score the same pairs in the same orientation and
+        # order, so memoized results merge deterministically even when
+        # reducers share a pair.
+        unique_pairs: list[tuple[str, str]] = sorted(
+            {
+                (left, right) if left < right else (right, left)
+                for left, right in raw_pairs
+            }
         )
         scored = unique_pairs if memoize else raw_pairs
-        run = engine.match_pairs(by_id, scored, classifier)
+        if execution == "sharded":
+            # Sharding partitions the canonical pair list; it always
+            # scores the deduplicated workload (memoization implied).
+            from repro.dist.runtime import sharded_match_pairs
+
+            run = sharded_match_pairs(
+                by_id,
+                unique_pairs,
+                comparator,
+                classifier,
+                n_shards=n_workers or n_reducers,
+                tracer=tracer,
+                resilience=resilience,
+                checkpoint=checkpoint,
+            )
+        else:
+            engine = ParallelComparisonEngine(
+                comparator, execution=execution, n_workers=n_workers,
+                tracer=tracer, resilience=resilience, checkpoint=checkpoint,
+            )
+            run = engine.match_pairs(by_id, scored, classifier)
         cost = cost_model.evaluate(partition)
         tracer.counter("dist.comparisons_raw").inc(len(raw_pairs))
         tracer.counter("dist.comparisons_unique").inc(len(unique_pairs))

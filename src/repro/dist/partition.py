@@ -33,8 +33,31 @@ __all__ = [
     "naive_partition",
     "block_split_partition",
     "pair_range_partition",
+    "shard_of_key",
+    "stable_key_hash",
     "task_pairs",
 ]
+
+
+def stable_key_hash(text: str) -> int:
+    """A deterministic string hash (Python's ``hash`` is salted).
+
+    The same polynomial fold everywhere partitioning happens — block
+    hashing, MapReduce shuffling, shard ownership — so every layer
+    agrees on where a key lives, across processes and interpreter
+    restarts.
+    """
+    value = 0
+    for character in text:
+        value = (value * 131 + ord(character)) % 1_000_000_007
+    return value
+
+
+def shard_of_key(key: str, n_shards: int) -> int:
+    """Deterministic shard ownership of an entity/block key."""
+    if n_shards < 1:
+        raise ConfigurationError("n_shards must be >= 1")
+    return stable_key_hash(key) % n_shards
 
 
 @dataclass(frozen=True)
@@ -100,10 +123,7 @@ def naive_partition(
     for block in blocks:
         if len(block) < 2:
             continue
-        digest = 0
-        for character in block.key:
-            digest = (digest * 131 + ord(character)) % 1_000_000_007
-        buckets[digest % n_reducers].append(
+        buckets[shard_of_key(block.key, n_reducers)].append(
             MatchTask(block.key, tuple(block.record_ids))
         )
     return buckets

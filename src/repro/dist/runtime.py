@@ -1,0 +1,866 @@
+"""Sharded pipeline runtime: entity-partitioned linkage over workers.
+
+The rest of :mod:`repro.dist` *simulates* a cluster (MapReduce engine,
+partitioning strategies, cost model). This module runs the real thing
+on one machine: the pipeline is hash-partitioned into shards that
+execute in actual worker processes, and the coordinator reassembles a
+result **byte-identical** to the single-process :func:`repro.linkage.resolve`.
+
+The run proceeds in four coordinated steps:
+
+1. **Shuffle / blocking.** Every record belongs to a home shard
+   (:func:`~repro.dist.partition.shard_of_key` over its record id) and
+   every candidate pair to an owner shard (hash of its smaller id).
+   Decomposable blockers (``blocker.supports_shard_keys``) run as a
+   distributed map: each home shard emits ``(key, position, id)``
+   tuples into sorted per-destination runs through the
+   :mod:`repro.outofcore` spill machinery, key-owner shards k-way merge
+   their inbound runs, rebuild each block in original record order,
+   and write sorted pair runs to the pair-owner shards. The
+   coordinator's final merge (:func:`~repro.outofcore.merge_sorted_streams`
+   with dedup) hands every shard exactly its sorted slice of the
+   canonical pair list — the same sorted-unique order the serial
+   resolver feeds its engine.
+2. **Matching.** Each shard's pairs run through the existing resilient
+   chunked :class:`~repro.linkage.engine.ParallelComparisonEngine`
+   (dict or columnar) inside a worker. Workers checkpoint into their
+   own ``dist.shard.{k}.engine`` store namespace, so a killed worker
+   resumes alone from its chunk ledger.
+3. **Reconciliation.** Per-shard match results merge back: match pairs
+   union, scored edges k-way merge (each shard's edges are a sorted
+   disjoint sublist of the serial edge order), and clusters reconcile
+   with a union-find pass over each shard's local components — the
+   transitive closure across shard boundaries is exactly the serial
+   ``connected_components`` output.
+4. **Manifest.** With a checkpoint store, the coordinator records a
+   ``dist.layout`` artifact carrying the shard count and per-shard pair
+   fingerprints. Re-running against the store with a different
+   ``n_shards`` raises
+   :class:`~repro.recovery.CheckpointMismatchError`; re-running with
+   the same layout reuses completed shard results and replays only
+   unfinished shards from their engine chunk checkpoints.
+
+:func:`plan_shards` picks a default shard count from the
+:class:`~repro.dist.costmodel.ClusterCostModel` when the caller does
+not pin one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import math
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.record import Record
+from repro.core.unionfind import UnionFind
+from repro.dist.costmodel import ClusterCostModel
+from repro.dist.partition import shard_of_key
+from repro.linkage.blocking.base import Blocker
+from repro.linkage.clustering import ScoredEdge, connected_components
+from repro.linkage.engine import EngineRun, ParallelComparisonEngine
+from repro.obs import NULL_TRACER, Tracer, observe_block_collection
+from repro.outofcore import merge_sorted_streams
+from repro.recovery import CheckpointMismatchError, RunStore, config_fingerprint
+from repro.resilience import DeadLetterLog
+
+__all__ = [
+    "SHARD_BACKENDS",
+    "ShardPlan",
+    "ShardResult",
+    "ShardedResolveRun",
+    "plan_shards",
+    "sharded_match_pairs",
+    "sharded_resolve",
+    "sharded_vote_fusion",
+]
+
+#: Worker backends: ``"process"`` fans shards out over OS processes,
+#: ``"inline"`` runs them sequentially in-process (deterministic kill
+#: semantics for chaos tests, zero fork overhead for tiny corpora).
+SHARD_BACKENDS: tuple[str, ...] = ("process", "inline")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The coordinator's shard-count decision.
+
+    ``candidates`` holds the cost model's predicted makespan for every
+    considered shard count; ``pinned`` records that the caller chose
+    ``n_shards`` explicitly (the plan then just prices that choice).
+    """
+
+    n_shards: int
+    predicted_cost: float
+    candidates: tuple[tuple[int, float], ...] = ()
+    pinned: bool = False
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Everything one shard's worker produced.
+
+    ``match_pairs`` / ``scored_edges`` are sorted tuples (each shard
+    owns a disjoint, pre-sorted slice of the canonical pair list);
+    ``local_groups`` are the shard's connected components over its own
+    match pairs, which the coordinator unions across shards.
+    ``elapsed`` is the worker-measured matching wall time — the
+    quantity shard-scaling benchmarks aggregate into a makespan.
+    ``resumed`` marks a shard whose result was reused from the
+    checkpoint store; ``replayed_chunks`` counts engine chunks restored
+    from checkpoints instead of recomputed.
+    """
+
+    shard: int
+    n_pairs: int
+    n_chunks: int
+    completed_chunks: int
+    replayed_chunks: int
+    n_early_exit: int
+    elapsed: float
+    match_pairs: tuple[tuple[str, str], ...]
+    scored_edges: tuple[ScoredEdge, ...]
+    local_groups: tuple[tuple[str, ...], ...]
+    counters: tuple[tuple[str, float], ...]
+    quarantined_pairs: tuple = ()
+    dead_letters: DeadLetterLog = field(default_factory=DeadLetterLog)
+    resumed: bool = False
+
+
+@dataclass(frozen=True)
+class ShardedResolveRun:
+    """A sharded run: the reassembled result plus per-shard forensics."""
+
+    result: "object"
+    plan: ShardPlan
+    shards: tuple[ShardResult, ...]
+    n_shards: int
+    backend: str
+    n_spanning_pairs: int
+    signatures: tuple[str, ...] = ()
+
+    @property
+    def n_resumed(self) -> int:
+        """Shards whose results were reused from the checkpoint store."""
+        return sum(1 for shard in self.shards if shard.resumed)
+
+    @property
+    def replayed_chunks(self) -> int:
+        """Engine chunks replayed from checkpoints across all shards."""
+        return sum(shard.replayed_chunks for shard in self.shards)
+
+
+def plan_shards(
+    n_pairs: int,
+    *,
+    model: ClusterCostModel | None = None,
+    max_shards: int = 8,
+    n_shards: int | None = None,
+) -> ShardPlan:
+    """Choose a shard count for ``n_pairs`` comparisons.
+
+    Predicted makespan of ``k`` shards is the startup cost of going
+    distributed at all (``k > 1``), plus per-shard task overhead, plus
+    the slowest shard's comparison work (``⌈n_pairs / k⌉``). The
+    smallest ``k`` wins ties, so tiny workloads stay single-shard.
+    """
+    if max_shards < 1:
+        raise ConfigurationError("max_shards must be >= 1")
+    if n_shards is not None and n_shards < 1:
+        raise ConfigurationError("n_shards must be >= 1")
+    model = model if model is not None else ClusterCostModel()
+    considered = max(max_shards, n_shards or 1)
+
+    def predicted(k: int) -> float:
+        return (
+            (model.startup if k > 1 else 0.0)
+            + model.task_overhead * k
+            + model.comparison_cost * math.ceil(n_pairs / k)
+        )
+
+    candidates = tuple((k, predicted(k)) for k in range(1, considered + 1))
+    if n_shards is not None:
+        return ShardPlan(n_shards, predicted(n_shards), candidates, pinned=True)
+    best = min(candidates, key=lambda entry: (entry[1], entry[0]))
+    return ShardPlan(best[0], best[1], candidates)
+
+
+def _canonical_pairs(candidate_pairs) -> list[tuple[str, str]]:
+    """The serial resolver's canonical sorted-unique pair order.
+
+    Equivalent to ``sorted(candidate_pairs, key=sorted)`` followed by
+    sorting each pair, but orients every pair first and sorts the
+    tuples directly — one sort pass, no per-comparison key lists.
+    """
+    return sorted(
+        (pair_ids[0], pair_ids[1])
+        for pair_ids in (sorted(pair) for pair in candidate_pairs)
+    )
+
+
+def _partition_pairs(
+    ordered_pairs: Sequence[tuple[str, str]], n_shards: int
+) -> tuple[list[list[tuple[str, str]]], int]:
+    """Split the canonical pair list into per-owner sorted sublists.
+
+    A pair's owner is the shard of its smaller id; the second return
+    value counts *spanning* pairs whose two records live on different
+    home shards (the pairs a real cluster shuffles across the wire).
+    """
+    buckets: list[list[tuple[str, str]]] = [[] for __ in range(n_shards)]
+    spanning = 0
+    # Each record id appears in many pairs; hashing it once instead of
+    # once per pair keeps the coordinator's partitioning pass cheap.
+    shard_of: dict[str, int] = {}
+    for pair in ordered_pairs:
+        owner = shard_of.get(pair[0])
+        if owner is None:
+            owner = shard_of[pair[0]] = shard_of_key(pair[0], n_shards)
+        other = shard_of.get(pair[1])
+        if other is None:
+            other = shard_of[pair[1]] = shard_of_key(pair[1], n_shards)
+        if other != owner:
+            spanning += 1
+        buckets[owner].append(pair)
+    return buckets, spanning
+
+
+def _shuffled_shard_pairs(
+    records: Sequence[Record], blocker: Blocker, n_shards: int, store, tracer
+) -> tuple[list[list[tuple[str, str]]], int, int]:
+    """The decomposed blocking shuffle (step 1 of the module docstring).
+
+    Returns per-owner sorted pair lists, the number of accepted blocks,
+    and the spanning-pair count. The per-owner lists concatenate to
+    exactly the serial blocker's canonical pair order: every block is
+    rebuilt with its ids in original record order before the blocker's
+    own ``accepts_block`` filter runs, and the final per-owner merge
+    dedups across key owners.
+    """
+    # Map side: home shards emit (key, position, record id) runs.
+    by_producer: list[list[tuple[int, Record]]] = [[] for __ in range(n_shards)]
+    for position, record in enumerate(records):
+        home = shard_of_key(record.record_id, n_shards)
+        by_producer[home].append((position, record))
+    for producer, assigned in enumerate(by_producer):
+        outbound: list[list[tuple[str, int, str]]] = [
+            [] for __ in range(n_shards)
+        ]
+        for position, record in assigned:
+            for key in blocker.shard_keys(record):
+                owner = shard_of_key(key, n_shards)
+                outbound[owner].append((key, position, record.record_id))
+        for owner, items in enumerate(outbound):
+            if items:
+                store.save_stream(
+                    f"shuffle.keys.to{owner}.from{producer}", sorted(items)
+                )
+    # Key-owner side: merge inbound runs, rebuild blocks, emit pairs.
+    n_blocks = 0
+    for key_owner in range(n_shards):
+        inbound = [
+            store.load_stream(f"shuffle.keys.to{key_owner}.from{producer}")
+            for producer in range(n_shards)
+        ]
+        merged = merge_sorted_streams(
+            stream for stream in inbound if stream is not None
+        )
+        pairs_out: list[set[tuple[str, str]]] = [set() for __ in range(n_shards)]
+        for key, group in itertools.groupby(merged, key=lambda item: item[0]):
+            ids = [record_id for __, __, record_id in group]
+            if not blocker.accepts_block(key, ids):
+                continue
+            n_blocks += 1
+            for i, left in enumerate(ids):
+                for right in ids[i + 1 :]:
+                    if left == right:
+                        continue
+                    pair = (left, right) if left < right else (right, left)
+                    pairs_out[shard_of_key(pair[0], n_shards)].add(pair)
+        for pair_owner, pairs in enumerate(pairs_out):
+            if pairs:
+                store.save_stream(
+                    f"shuffle.pairs.to{pair_owner}.from{key_owner}",
+                    sorted(pairs),
+                )
+    # Coordinator side: per-owner k-way merge with cross-owner dedup.
+    buckets: list[list[tuple[str, str]]] = []
+    spanning = 0
+    for pair_owner in range(n_shards):
+        inbound = [
+            store.load_stream(f"shuffle.pairs.to{pair_owner}.from{key_owner}")
+            for key_owner in range(n_shards)
+        ]
+        merged = list(
+            merge_sorted_streams(
+                (stream for stream in inbound if stream is not None),
+                dedup=True,
+            )
+        )
+        spanning += sum(
+            1
+            for pair in merged
+            if shard_of_key(pair[1], n_shards) != pair_owner
+        )
+        buckets.append(merged)
+    tracer.counter("dist.shuffle.blocks").inc(n_blocks)
+    return buckets, n_blocks, spanning
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One shard's matching workload (must stay picklable)."""
+
+    shard: int
+    pairs: tuple[tuple[str, str], ...]
+    records: dict
+    comparator: "object"
+    classifier: "object"
+    chunk_size: int
+    representation: str
+    resilience: "object | None"
+    store_root: str | None
+    store_prefix: str
+    durable: bool
+
+
+def _run_shard(task: _ShardTask) -> ShardResult:
+    """Execute one shard's matching inside a worker process.
+
+    Runs the serial resilient engine over the shard's pre-sorted pairs,
+    checkpointing into the shard's own store namespace, and returns a
+    picklable :class:`ShardResult` (the worker-collection protocol: raw
+    counters travel back and fold into the coordinator's tracer).
+    """
+    tracer = Tracer()
+    injector = getattr(task.resilience, "fault_injector", None)
+    if injector is not None and hasattr(injector, "bind_shard"):
+        injector.bind_shard(task.shard)
+    checkpoint = None
+    if task.store_root is not None:
+        checkpoint = RunStore(task.store_root, durable=task.durable).sub(
+            task.store_prefix
+        )
+    engine = ParallelComparisonEngine(
+        task.comparator,
+        execution="serial",
+        chunk_size=task.chunk_size,
+        tracer=tracer,
+        resilience=task.resilience,
+        checkpoint=checkpoint,
+        representation=task.representation,
+    )
+    started = time.perf_counter()
+    run = engine.match_pairs(task.records, list(task.pairs), task.classifier)
+    elapsed = time.perf_counter() - started
+    local_ids = sorted({member for pair in run.match_pairs for member in pair})
+    groups = connected_components(run.match_pairs, local_ids)
+    counters = tracer.report().metrics["counters"]
+    return ShardResult(
+        shard=task.shard,
+        n_pairs=run.n_pairs,
+        n_chunks=run.n_chunks,
+        completed_chunks=run.completed_chunks,
+        replayed_chunks=run.replayed_chunks,
+        n_early_exit=run.n_early_exit,
+        elapsed=elapsed,
+        match_pairs=tuple(
+            sorted(tuple(sorted(pair)) for pair in run.match_pairs)
+        ),
+        scored_edges=tuple(run.scored_edges),
+        local_groups=tuple(tuple(group) for group in groups),
+        counters=tuple(sorted(counters.items())),
+        quarantined_pairs=tuple(run.quarantined_pairs),
+        dead_letters=run.dead_letters,
+    )
+
+
+@dataclass(frozen=True)
+class _StoreBinding:
+    """How the coordinator and its workers reach the checkpoint store."""
+
+    base_view: "object | None" = None
+    root_store: "object | None" = None
+    store_root: str | None = None
+    prefix: str = "dist"
+    durable: bool = True
+
+
+def _bind_store(checkpoint) -> _StoreBinding:
+    """Normalize ``checkpoint`` (path / RunStore / StoreView / None)."""
+    if checkpoint is None:
+        return _StoreBinding()
+    if isinstance(checkpoint, (str, os.PathLike)):
+        checkpoint = RunStore(checkpoint)
+    if isinstance(checkpoint, RunStore):
+        root_store = checkpoint
+    else:  # a StoreView — reach its backing store for the manifest.
+        root_store = getattr(checkpoint, "_store", None)
+    base_view = checkpoint.sub("dist")
+    prefix = getattr(base_view, "_prefix", "dist.").rstrip(".")
+    return _StoreBinding(
+        base_view=base_view,
+        root_store=root_store,
+        store_root=(
+            str(root_store.root) if root_store is not None else None
+        ),
+        prefix=prefix,
+        durable=getattr(root_store, "_durable", True),
+    )
+
+
+def _pair_signature(pairs: Sequence[tuple[str, str]]) -> str:
+    """Content fingerprint of one shard's canonical pair slice."""
+    return hashlib.sha256(repr(list(pairs)).encode("utf-8")).hexdigest()
+
+
+def _guard_layout(
+    binding: _StoreBinding, n_shards: int, signatures: Sequence[str]
+) -> None:
+    """Record — and defend — the manifest's shard layout.
+
+    A store that already holds a layout with a different shard count
+    cannot be resumed: shard slices would no longer line up with the
+    recorded per-shard checkpoints, so the run refuses loudly instead
+    of silently recomputing or (worse) mixing slices.
+    """
+    if binding.base_view is None:
+        return
+    offered = config_fingerprint("dist.layout", n_shards)
+    recorded = binding.base_view.load("layout")
+    if recorded is not None and recorded.get("n_shards") != n_shards:
+        raise CheckpointMismatchError(
+            recorded.get("fingerprint", "<unknown>"),
+            offered,
+            binding.store_root or "<store>",
+        )
+    meta = binding.base_view.save(
+        "layout",
+        {
+            "n_shards": n_shards,
+            "fingerprint": offered,
+            "shards": {
+                str(shard): signature
+                for shard, signature in enumerate(signatures)
+            },
+        },
+    )
+    if binding.root_store is not None:
+        binding.root_store.mark_stage(
+            "dist.layout", f"{binding.prefix}.layout", sha256=meta["sha256"]
+        )
+
+
+def _execute_shards(
+    buckets: Sequence[Sequence[tuple[str, str]]],
+    by_id: Mapping[str, Record],
+    comparator,
+    classifier,
+    *,
+    backend: str,
+    chunk_size: int,
+    representation: str,
+    resilience,
+    binding: _StoreBinding,
+    signatures: Sequence[str],
+    tracer,
+) -> list[ShardResult]:
+    """Run (or resume) every shard and persist per-shard results."""
+    n_shards = len(buckets)
+    results: list[ShardResult | None] = [None] * n_shards
+    tasks: list[_ShardTask | None] = [None] * n_shards
+    for shard, pairs in enumerate(buckets):
+        if binding.base_view is not None:
+            prior = binding.base_view.load(f"shard.{shard}.result")
+            if (
+                prior is not None
+                and prior.get("signature") == signatures[shard]
+                and isinstance(prior.get("result"), ShardResult)
+            ):
+                results[shard] = replace(
+                    prior["result"], resumed=True, replayed_chunks=0
+                )
+                continue
+        needed = sorted({record_id for pair in pairs for record_id in pair})
+        tasks[shard] = _ShardTask(
+            shard=shard,
+            pairs=tuple(pairs),
+            records={record_id: by_id[record_id] for record_id in needed},
+            comparator=comparator,
+            classifier=classifier,
+            chunk_size=chunk_size,
+            representation=representation,
+            resilience=resilience,
+            store_root=binding.store_root,
+            store_prefix=f"{binding.prefix}.shard.{shard}.engine",
+            durable=binding.durable,
+        )
+
+    def persist(shard: int, result: ShardResult) -> None:
+        if binding.base_view is None:
+            return
+        meta = binding.base_view.save(
+            f"shard.{shard}.result",
+            {"signature": signatures[shard], "result": result},
+        )
+        if binding.root_store is not None:
+            binding.root_store.mark_stage(
+                f"dist.shard.{shard}",
+                f"{binding.prefix}.shard.{shard}.result",
+                sha256=meta["sha256"],
+            )
+
+    pending = [shard for shard in range(n_shards) if tasks[shard] is not None]
+    if backend == "inline" or len(pending) <= 1:
+        # Sequential, in shard order — a kill mid-shard leaves every
+        # earlier shard's result persisted and the current shard's
+        # engine chunks checkpointed, which is what single-shard
+        # resume relies on.
+        for shard in pending:
+            result = _run_shard(tasks[shard])
+            results[shard] = result
+            persist(shard, result)
+    else:
+        max_workers = max(1, min(len(pending), os.cpu_count() or 1))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [(shard, pool.submit(_run_shard, tasks[shard])) for shard in pending]
+            for shard, future in futures:
+                result = future.result()
+                results[shard] = result
+                persist(shard, result)
+    return [result for result in results if result is not None]
+
+
+def _merge_dead_letters(shards: Sequence[ShardResult]) -> DeadLetterLog:
+    """Coordinator-level dead-letter log: shard entries in shard order.
+
+    Entries were already durably appended (when a sink is configured)
+    by the workers that produced them, so they re-attach here without
+    re-appending.
+    """
+    merged = DeadLetterLog()
+    for shard in shards:
+        merged.restore(shard.dead_letters.entries)
+    return merged
+
+
+def _emit_shard_metrics(
+    tracer, shards: Sequence[ShardResult], n_shards: int, spanning: int
+) -> None:
+    """The coordinator's ``dist.shard.*`` observability surface."""
+    tracer.gauge("dist.shard.count").set(float(n_shards))
+    pair_counts = [float(shard.n_pairs) for shard in shards]
+    tracer.counter("dist.shard.pairs").inc(int(sum(pair_counts)))
+    tracer.counter("dist.shard.spanning_pairs").inc(spanning)
+    tracer.histogram("dist.shard.pair_count").observe_many(pair_counts)
+    mean = sum(pair_counts) / len(pair_counts) if pair_counts else 0.0
+    skew = max(pair_counts) / mean if mean else 1.0
+    tracer.gauge("dist.shard.skew").set(skew)
+    tracer.counter("dist.shard.resumed").inc(
+        sum(1 for shard in shards if shard.resumed)
+    )
+    tracer.counter("dist.shard.replayed_chunks").inc(
+        sum(shard.replayed_chunks for shard in shards)
+    )
+    for shard in shards:
+        for name, value in shard.counters:
+            tracer.counter(name).inc(int(value))
+
+
+def sharded_resolve(
+    records: Sequence[Record],
+    blocker: Blocker,
+    comparator,
+    classifier,
+    *,
+    clustering: str = "components",
+    candidate_pairs=None,
+    n_shards: int | None = None,
+    backend: str = "process",
+    chunk_size: int = 2048,
+    cost_model: ClusterCostModel | None = None,
+    tracer=None,
+    resilience=None,
+    checkpoint=None,
+    spill_dir=None,
+    representation: str = "dict",
+) -> ShardedResolveRun:
+    """Run the full linkage pipeline sharded across workers.
+
+    Produces a :class:`~repro.linkage.resolver.LinkageResult` (in
+    ``.result``) byte-identical to the serial
+    :func:`~repro.linkage.resolve` over the same inputs, for every
+    ``n_shards``, backend, and representation. See the module docstring
+    for the four coordinated steps; ``n_shards=None`` lets
+    :func:`plan_shards` choose from the cost model (which then blocks
+    at the coordinator, since the shuffle needs the shard count
+    up-front).
+    """
+    from repro.linkage.resolver import LinkageResult, _cluster
+
+    if backend not in SHARD_BACKENDS:
+        raise ConfigurationError(
+            f"unknown shard backend {backend!r}; expected one of "
+            f"{SHARD_BACKENDS}"
+        )
+    tracer = tracer if tracer is not None else NULL_TRACER
+    records = list(records)
+    by_id = {record.record_id: record for record in records}
+    with tracer.span("dist.sharded", backend=backend) as span:
+        temp = None
+        try:
+            buckets: list[list[tuple[str, str]]] | None = None
+            spanning = 0
+            if candidate_pairs is not None:
+                ordered = _canonical_pairs(candidate_pairs)
+                plan = plan_shards(
+                    len(ordered), model=cost_model, n_shards=n_shards
+                )
+                buckets, spanning = _partition_pairs(ordered, plan.n_shards)
+            elif n_shards is not None and blocker.supports_shard_keys:
+                if spill_dir is None:
+                    temp = tempfile.TemporaryDirectory(prefix="repro-shuffle-")
+                    store = RunStore(temp.name, durable=False)
+                elif hasattr(spill_dir, "save_stream"):
+                    store = spill_dir
+                else:
+                    store = RunStore(spill_dir, durable=False)
+                with tracer.span(
+                    "dist.shuffle", blocker=type(blocker).__name__
+                ) as shuffle_span:
+                    buckets, n_blocks, spanning = _shuffled_shard_pairs(
+                        records, blocker, n_shards, store, tracer
+                    )
+                    shuffle_span.set("n_blocks", n_blocks)
+                plan = plan_shards(
+                    sum(len(bucket) for bucket in buckets),
+                    model=cost_model,
+                    n_shards=n_shards,
+                )
+            else:
+                with tracer.span(
+                    "dist.block", blocker=type(blocker).__name__
+                ) as block_span:
+                    blocks = blocker.block(records)
+                    observe_block_collection(tracer, blocks)
+                    pairs = blocks.candidate_pairs()
+                    block_span.set("n_blocks", len(blocks))
+                ordered = _canonical_pairs(pairs)
+                plan = plan_shards(
+                    len(ordered), model=cost_model, n_shards=n_shards
+                )
+                buckets, spanning = _partition_pairs(ordered, plan.n_shards)
+            n_candidates = sum(len(bucket) for bucket in buckets)
+            signatures = [_pair_signature(bucket) for bucket in buckets]
+            binding = _bind_store(checkpoint)
+            _guard_layout(binding, plan.n_shards, signatures)
+            shards = _execute_shards(
+                buckets,
+                by_id,
+                comparator,
+                classifier,
+                backend=backend,
+                chunk_size=chunk_size,
+                representation=representation,
+                resilience=resilience,
+                binding=binding,
+                signatures=signatures,
+                tracer=tracer,
+            )
+        finally:
+            if temp is not None:
+                temp.cleanup()
+        _emit_shard_metrics(tracer, shards, plan.n_shards, spanning)
+        match_pairs: set[frozenset[str]] = set()
+        for shard in shards:
+            match_pairs.update(frozenset(pair) for pair in shard.match_pairs)
+        scored_edges = list(
+            merge_sorted_streams(
+                iter(shard.scored_edges) for shard in shards
+            )
+        )
+        all_ids = sorted(by_id)
+        if clustering == "components":
+            with tracer.span("dist.reconcile") as reconcile_span:
+                union = UnionFind(all_ids)
+                for shard in shards:
+                    for group in shard.local_groups:
+                        for member in group[1:]:
+                            union.union(group[0], member)
+                clusters = union.groups()
+                reconcile_span.set("n_clusters", len(clusters))
+        else:
+            clusters = _cluster(
+                clustering, match_pairs, scored_edges, all_ids, tracer
+            )
+        quarantined = tuple(
+            itertools.chain.from_iterable(
+                shard.quarantined_pairs for shard in shards
+            )
+        )
+        result = LinkageResult(
+            clusters=clusters,
+            match_pairs=match_pairs,
+            n_candidates=n_candidates,
+            scored_edges=scored_edges,
+            dead_letters=(
+                _merge_dead_letters(shards) if resilience is not None else None
+            ),
+            quarantined_pairs=quarantined,
+        )
+        span.set("n_shards", plan.n_shards)
+        span.set("n_candidates", n_candidates)
+        span.set("n_resumed", sum(1 for shard in shards if shard.resumed))
+    return ShardedResolveRun(
+        result=result,
+        plan=plan,
+        shards=tuple(shards),
+        n_shards=plan.n_shards,
+        backend=backend,
+        n_spanning_pairs=spanning,
+        signatures=tuple(signatures),
+    )
+
+
+def sharded_match_pairs(
+    by_id: Mapping[str, Record],
+    pairs: Sequence[tuple[str, str]],
+    comparator,
+    classifier,
+    *,
+    n_shards: int,
+    backend: str = "inline",
+    chunk_size: int = 2048,
+    tracer=None,
+    resilience=None,
+    checkpoint=None,
+    representation: str = "dict",
+) -> EngineRun:
+    """Shard an explicit canonical pair list and merge to one EngineRun.
+
+    The sharded counterpart of
+    :meth:`~repro.linkage.engine.ParallelComparisonEngine.match_pairs`
+    for callers that already hold the sorted-unique pair list (e.g. the
+    distributed-linkage driver). Output fields are merged exactly as
+    :func:`sharded_resolve` merges them.
+    """
+    if backend not in SHARD_BACKENDS:
+        raise ConfigurationError(
+            f"unknown shard backend {backend!r}; expected one of "
+            f"{SHARD_BACKENDS}"
+        )
+    tracer = tracer if tracer is not None else NULL_TRACER
+    ordered = _canonical_pairs(pairs)
+    buckets, spanning = _partition_pairs(ordered, n_shards)
+    signatures = [_pair_signature(bucket) for bucket in buckets]
+    binding = _bind_store(checkpoint)
+    _guard_layout(binding, n_shards, signatures)
+    shards = _execute_shards(
+        buckets,
+        by_id,
+        comparator,
+        classifier,
+        backend=backend,
+        chunk_size=chunk_size,
+        representation=representation,
+        resilience=resilience,
+        binding=binding,
+        signatures=signatures,
+        tracer=tracer,
+    )
+    _emit_shard_metrics(tracer, shards, n_shards, spanning)
+    match_pairs: set[frozenset[str]] = set()
+    for shard in shards:
+        match_pairs.update(frozenset(pair) for pair in shard.match_pairs)
+    return EngineRun(
+        match_pairs=match_pairs,
+        scored_edges=list(
+            merge_sorted_streams(iter(shard.scored_edges) for shard in shards)
+        ),
+        n_pairs=sum(shard.n_pairs for shard in shards),
+        n_early_exit=sum(shard.n_early_exit for shard in shards),
+        execution="sharded",
+        n_workers=n_shards,
+        dead_letters=_merge_dead_letters(shards),
+        quarantined_pairs=tuple(
+            itertools.chain.from_iterable(
+                shard.quarantined_pairs for shard in shards
+            )
+        ),
+        completed_chunks=sum(shard.completed_chunks for shard in shards),
+        n_chunks=sum(shard.n_chunks for shard in shards),
+        representation=representation,
+        replayed_chunks=sum(shard.replayed_chunks for shard in shards),
+    )
+
+
+def _run_fusion_shard(args) -> "object":
+    """Worker half of :func:`sharded_vote_fusion` (must stay picklable)."""
+    from repro.fusion.voting import VotingFuser
+
+    shard_claims = args
+    return VotingFuser().fuse(shard_claims)
+
+
+def sharded_vote_fusion(
+    claims,
+    *,
+    n_shards: int,
+    backend: str = "inline",
+    tracer=None,
+):
+    """Voting fusion partitioned by item across shards.
+
+    Voting decides each item independently, so items hash-partition
+    cleanly: every shard fuses the claim subset for its items and the
+    coordinator reassembles the chosen/confidence maps **in the serial
+    claim-set's item order** — byte-identical to one
+    :class:`~repro.fusion.voting.VotingFuser` pass over all claims.
+    """
+    from repro.fusion.base import ClaimSet, FusionResult
+
+    if backend not in SHARD_BACKENDS:
+        raise ConfigurationError(
+            f"unknown shard backend {backend!r}; expected one of "
+            f"{SHARD_BACKENDS}"
+        )
+    if n_shards < 1:
+        raise ConfigurationError("n_shards must be >= 1")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("dist.fusion", n_shards=n_shards):
+        shard_claims = [ClaimSet() for __ in range(n_shards)]
+        for item in claims.items():
+            owner = shard_of_key(item, n_shards)
+            for claim in claims.claims_for(item):
+                shard_claims[owner].add(claim)
+        populated = [
+            (shard, subset)
+            for shard, subset in enumerate(shard_claims)
+            if subset.items()
+        ]
+        if backend == "inline" or len(populated) <= 1:
+            fused = {
+                shard: _run_fusion_shard(subset)
+                for shard, subset in populated
+            }
+        else:
+            max_workers = max(1, min(len(populated), os.cpu_count() or 1))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = [
+                    (shard, pool.submit(_run_fusion_shard, subset))
+                    for shard, subset in populated
+                ]
+                fused = {shard: future.result() for shard, future in futures}
+        chosen = {}
+        confidence = {}
+        for item in claims.items():
+            shard_result = fused[shard_of_key(item, n_shards)]
+            chosen[item] = shard_result.chosen[item]
+            confidence[item] = shard_result.confidence[item]
+    return FusionResult(chosen=chosen, confidence=confidence)

@@ -144,6 +144,38 @@ class Blocker:
         """Whether this blocker overrides :meth:`stream_blocks`."""
         return type(self).stream_blocks is not Blocker.stream_blocks
 
+    def shard_keys(self, record: Record) -> list[str]:
+        """Blocking keys of one record, for shard-decomposed blocking.
+
+        A blocker whose keys depend only on the record itself can run
+        as a distributed map: each shard emits ``(key, record)``
+        contributions independently and key owners reassemble blocks.
+        Overrides must emit, per record, exactly the keys :meth:`block`
+        would index the record under (duplicates included, since
+        :meth:`block` keeps them too). The base raises so callers can
+        detect (via :attr:`supports_shard_keys`) and fall back to
+        whole-corpus blocking at the coordinator.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no shard-decomposable key path"
+        )
+
+    def accepts_block(self, key: str, record_ids: Sequence[str]) -> bool:
+        """Whether a reassembled block survives this blocker's filters.
+
+        Called by the sharded runtime after a key owner regroups a
+        key's record ids (in original record order). The base keeps
+        any block that can produce at least one pair — the same rule
+        ``BlockCollection.from_key_map`` applies; blockers with extra
+        filters (e.g. an oversize cutoff) override and re-apply them.
+        """
+        return len(record_ids) > 1
+
+    @property
+    def supports_shard_keys(self) -> bool:
+        """Whether this blocker overrides :meth:`shard_keys`."""
+        return type(self).shard_keys is not Blocker.shard_keys
+
     @staticmethod
     def _keys_of(key_function: KeyFunction, record: Record) -> list[str]:
         """Normalize a key function's output to a list of usable keys."""

@@ -36,6 +36,15 @@ class StandardBlocker(Blocker):
                 by_key[key].append(record.record_id)
         return BlockCollection.from_key_map(by_key)
 
+    def shard_keys(self, record: Record) -> list[str]:
+        """Per-record keys for shard-decomposed blocking.
+
+        Exactly what :meth:`block` indexes the record under —
+        duplicates included, since ``block`` appends the record once
+        per emitted key.
+        """
+        return self._keys_of(self._key_function, record)
+
     def stream_blocks(
         self, records: Iterable[Record], spill
     ) -> Iterator[Block]:

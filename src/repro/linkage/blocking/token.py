@@ -55,6 +55,29 @@ class TokenBlocker(Blocker):
             }
         return BlockCollection.from_key_map(by_token)
 
+    def shard_keys(self, record: Record) -> list[str]:
+        """Per-record token keys for shard-decomposed blocking.
+
+        The token *set* of :meth:`block`, sorted: each distinct token
+        indexes the record once, and per-key id lists depend only on
+        record order, so sorted emission regroups identically.
+        """
+        tokens: set[str] = set()
+        for value in record.attributes.values():
+            for token in word_tokens(normalize_value(value)):
+                if len(token) >= self._min_token_length:
+                    tokens.add(token)
+        return sorted(tokens)
+
+    def accepts_block(self, key: str, record_ids: Sequence[str]) -> bool:
+        """Re-apply the ``max_block_size`` stop-word filter at reassembly."""
+        if (
+            self._max_block_size is not None
+            and len(record_ids) > self._max_block_size
+        ):
+            return False
+        return len(record_ids) > 1
+
     def stream_blocks(
         self, records: Iterable[Record], spill
     ) -> Iterator[Block]:

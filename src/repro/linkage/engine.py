@@ -65,7 +65,10 @@ __all__ = [
     "prepare_records",
 ]
 
-ExecutionMode = Literal["serial", "process"]
+#: ``"sharded"`` is accepted by :func:`repro.linkage.resolve` (which
+#: routes it to :mod:`repro.dist.runtime`); the engine itself executes
+#: only ``"serial"`` and ``"process"``.
+ExecutionMode = Literal["serial", "process", "sharded"]
 Representation = Literal["dict", "columnar"]
 
 IdPair = tuple[str, str]
@@ -98,12 +101,14 @@ class EngineRun:
     decided without evaluating every field (0 for non-threshold
     classifiers, which always score fully).
 
-    The last four fields carry the run's fault-tolerance outcome (only
+    The last fields carry the run's fault-tolerance outcome (only
     populated when the engine was built with a
     :class:`~repro.resilience.ResilienceConfig`): the dead-letter log
     of quarantined work, the quarantined pairs themselves, and the
     ``completed_chunks``/``n_chunks`` split — partial-result semantics
-    for runs that survived worker failures.
+    for runs that survived worker failures. ``replayed_chunks`` counts
+    chunks restored from a checkpoint store instead of recomputed (0
+    for fresh runs and when checkpointing is off).
     """
 
     match_pairs: set[frozenset[str]]
@@ -117,6 +122,7 @@ class EngineRun:
     completed_chunks: int = 0
     n_chunks: int = 0
     representation: str = "dict"
+    replayed_chunks: int = 0
 
 
 # --- worker-side state for the process backend -----------------------
@@ -972,6 +978,7 @@ class ParallelComparisonEngine:
             completed_chunks=outcome.completed_chunks,
             n_chunks=outcome.n_chunks,
             representation=self._representation,
+            replayed_chunks=outcome.replayed_chunks,
         )
 
     def _stream_runner(
@@ -1441,6 +1448,7 @@ class ParallelComparisonEngine:
             completed_chunks=outcome.completed_chunks,
             n_chunks=outcome.n_chunks,
             representation=self._representation,
+            replayed_chunks=outcome.replayed_chunks,
         )
 
     def _record_match_metrics(

@@ -95,6 +95,8 @@ def resolve(
     memory_budget=None,
     spill_dir=None,
     representation: Representation = "dict",
+    n_shards: int | None = None,
+    shard_backend: str = "process",
 ) -> LinkageResult:
     """Run block → compare → classify → cluster over ``records``.
 
@@ -143,8 +145,40 @@ def resolve(
     scores whole chunks through the vectorized batch kernels. Output is
     bit-identical either way; it composes with every ``execution``
     mode, resilience, checkpointing, and the out-of-core path.
+
+    ``execution="sharded"`` hash-partitions the whole run across worker
+    shards (:mod:`repro.dist.runtime`): entity-sharded blocking,
+    per-shard matching workers with their own checkpoint namespaces,
+    and union-find boundary reconciliation — with output byte-identical
+    to the serial path. ``n_shards`` pins the shard count (``None``
+    lets the cluster cost model plan it); ``shard_backend`` selects
+    ``"process"`` workers or the ``"inline"`` sequential backend. The
+    sharded path composes with everything except ``memory_budget``.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    if execution == "sharded":
+        if memory_budget is not None:
+            raise ConfigurationError(
+                "execution='sharded' does not compose with memory_budget; "
+                "shards already bound memory by partitioning"
+            )
+        from repro.dist.runtime import sharded_resolve
+
+        return sharded_resolve(
+            records,
+            blocker,
+            comparator,
+            classifier,
+            clustering=clustering,
+            candidate_pairs=candidate_pairs,
+            n_shards=n_shards,
+            backend=shard_backend,
+            tracer=tracer,
+            resilience=resilience,
+            checkpoint=checkpoint,
+            spill_dir=spill_dir,
+            representation=representation,
+        ).result
     if memory_budget is not None:
         return _resolve_streaming(
             records,

@@ -45,6 +45,7 @@ from repro.outofcore.spill import (
     ExternalSorter,
     SpillableBlockIndex,
     SpillSession,
+    merge_sorted_streams,
 )
 
 __all__ = [
@@ -57,6 +58,7 @@ __all__ = [
     "columnar_block_nbytes",
     "SpillableBlockIndex",
     "SpillableClaimGroups",
+    "merge_sorted_streams",
     "pair_nbytes",
     "record_nbytes",
     "str_nbytes",

@@ -92,10 +92,14 @@ def _normalize_attempts(attempts) -> frozenset | None:
 class FaultSpec:
     """One declarative fault rule.
 
-    ``chunk`` / ``item`` / ``attempts`` are conjunctive filters; a
-    ``None`` filter matches everything. ``max_fires`` caps how many
-    times the rule fires in total (``None`` = unlimited). ``payload``
-    is the garbage value substituted for ``kind="garbage"``.
+    ``chunk`` / ``item`` / ``attempts`` / ``shard`` are conjunctive
+    filters; a ``None`` filter matches everything. ``shard`` restricts
+    the rule to the worker bound to that shard id via
+    :meth:`FaultInjector.bind_shard` (the sharded runtime binds each
+    worker before it runs its chunks); an unbound injector never fires
+    shard-targeted rules. ``max_fires`` caps how many times the rule
+    fires in total (``None`` = unlimited). ``payload`` is the garbage
+    value substituted for ``kind="garbage"``.
     """
 
     kind: str
@@ -104,6 +108,7 @@ class FaultSpec:
     attempts: object = None
     max_fires: int | None = None
     payload: object = None
+    shard: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -132,9 +137,10 @@ def crash(
     item: object | None = None,
     attempts=None,
     max_fires: int | None = None,
+    shard: int | None = None,
 ) -> FaultSpec:
     """A crash rule (see :class:`FaultSpec` for targeting)."""
-    return FaultSpec("crash", chunk, item, attempts, max_fires)
+    return FaultSpec("crash", chunk, item, attempts, max_fires, shard=shard)
 
 
 def hang(
@@ -142,9 +148,10 @@ def hang(
     item: object | None = None,
     attempts=None,
     max_fires: int | None = None,
+    shard: int | None = None,
 ) -> FaultSpec:
     """A hang rule: the attempt burns its full timeout, then fails."""
-    return FaultSpec("hang", chunk, item, attempts, max_fires)
+    return FaultSpec("hang", chunk, item, attempts, max_fires, shard=shard)
 
 
 def kill(
@@ -152,6 +159,7 @@ def kill(
     item: object | None = None,
     attempts=None,
     max_fires: int | None = None,
+    shard: int | None = None,
 ) -> FaultSpec:
     """A process-kill rule: the driver dies hard via ``os._exit``.
 
@@ -160,7 +168,7 @@ def kill(
     resumed from its checkpoints in a fresh process. Use only inside a
     sacrificial subprocess (see ``tests/recovery_driver.py``).
     """
-    return FaultSpec("kill", chunk, item, attempts, max_fires)
+    return FaultSpec("kill", chunk, item, attempts, max_fires, shard=shard)
 
 
 def garbage(
@@ -169,9 +177,12 @@ def garbage(
     attempts=None,
     max_fires: int | None = None,
     payload: object = None,
+    shard: int | None = None,
 ) -> FaultSpec:
     """A garbage rule: the attempt's result is replaced by ``payload``."""
-    return FaultSpec("garbage", chunk, item, attempts, max_fires, payload)
+    return FaultSpec(
+        "garbage", chunk, item, attempts, max_fires, payload, shard=shard
+    )
 
 
 @dataclass(frozen=True)
@@ -196,7 +207,19 @@ class FaultInjector:
 
     def __init__(self, *specs: FaultSpec) -> None:
         self._specs: list[list] = [[spec, 0] for spec in specs]
+        self._shard: int | None = None
         self.history: list[FaultEvent] = []
+
+    def bind_shard(self, shard: int | None) -> None:
+        """Declare which shard this injector is currently serving.
+
+        Shard-targeted specs (``shard=`` filter) fire only while the
+        injector is bound to that shard id. The sharded runtime calls
+        this in each worker before the shard's chunks run; outside a
+        sharded run the injector stays unbound and shard-targeted
+        specs never fire.
+        """
+        self._shard = shard
 
     def _fire(self, kinds, chunk_index, items, attempt) -> FaultSpec | None:
         for slot in self._specs:
@@ -204,6 +227,8 @@ class FaultInjector:
             if spec.kind not in kinds:
                 continue
             if spec.max_fires is not None and fired >= spec.max_fires:
+                continue
+            if spec.shard is not None and spec.shard != self._shard:
                 continue
             if spec.matches(chunk_index, list(items), attempt):
                 slot[1] = fired + 1

@@ -1,0 +1,211 @@
+"""Sacrificial subprocess for the sharded kill/resume acceptance tests.
+
+The sharded runtime's resilience contract: kill one shard's worker
+mid-matching, relaunch against the same checkpoint store, and only that
+shard replays (from its engine chunk ledger) while every shard that
+finished before the kill is reused from its recorded result artifact —
+with final output byte-identical to a run that never died.
+
+Like ``tests/recovery_driver.py``, the kill fault (``os._exit(137)``)
+can only be exercised from a process built to die, and the ``inline``
+shard backend makes its timeline deterministic: shards run in shard
+order, so a kill at shard *s*, chunk *c* leaves shards ``< s``
+persisted, exactly ``c`` chunks of shard *s* checkpointed, and shards
+``> s`` untouched.
+
+The corpus/kill-point helpers (:func:`make_corpus`,
+:func:`choose_kill`) are importable by the tests, so a property test
+can pick a kill point it knows is mid-run before launching anything.
+
+Modes
+-----
+
+``serial``
+    The plain single-process :func:`repro.linkage.resolve` over the
+    same corpus — the differential baseline.
+``sharded``
+    :func:`repro.dist.sharded_resolve` with the inline backend; with
+    ``--kill-shard``/``--kill-chunk`` it dies with exit status 137,
+    without them it runs (or resumes) to completion and prints a JSON
+    document with the merged result plus per-shard forensics.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.dist import sharded_resolve  # noqa: E402
+from repro.dist.runtime import (  # noqa: E402
+    _canonical_pairs,
+    _partition_pairs,
+)
+from repro.linkage import ThresholdClassifier, resolve  # noqa: E402
+from repro.linkage.blocking.token import TokenBlocker  # noqa: E402
+from repro.linkage.comparison import (  # noqa: E402
+    default_product_comparator,
+)
+from repro.obs import Tracer  # noqa: E402
+from repro.resilience import ResilienceConfig, RetryPolicy  # noqa: E402
+from repro.resilience.testing import FaultInjector, kill  # noqa: E402
+from repro.synth import (  # noqa: E402
+    CorpusConfig,
+    WorldConfig,
+    generate_dataset,
+    generate_world,
+)
+
+
+def make_corpus(n_entities: int, seed: int):
+    """The shared deterministic workload of one driver invocation."""
+    world = generate_world(
+        WorldConfig(
+            categories=("camera",), entities_per_category=n_entities, seed=seed
+        )
+    )
+    dataset = generate_dataset(
+        world, CorpusConfig(n_sources=5, seed=seed + 1)
+    )
+    records = list(dataset.records())
+    blocker = TokenBlocker(max_block_size=40)
+    comparator = default_product_comparator()
+    classifier = ThresholdClassifier(0.72)
+    return records, blocker, comparator, classifier
+
+
+def shard_pair_counts(records, blocker, n_shards: int) -> list[int]:
+    """Per-shard candidate-pair counts, exactly as the runtime shards."""
+    pairs = blocker.block(records).candidate_pairs()
+    buckets, __ = _partition_pairs(_canonical_pairs(pairs), n_shards)
+    return [len(bucket) for bucket in buckets]
+
+
+def choose_kill(records, blocker, n_shards: int, chunk_size: int):
+    """A kill point guaranteed to be mid-run, or ``None``.
+
+    Picks the shard with the most pairs (ties to the smaller id) and
+    kills its second chunk — so at least one chunk is durably
+    checkpointed before death and at least one is never attempted.
+    Returns ``(shard, kill_chunk, n_chunks)`` or ``None`` when no
+    shard spans two chunks.
+    """
+    counts = shard_pair_counts(records, blocker, n_shards)
+    shard = max(range(n_shards), key=lambda k: (counts[k], -k))
+    n_chunks = math.ceil(counts[shard] / chunk_size)
+    if n_chunks < 2:
+        return None
+    return shard, 1, n_chunks
+
+
+def _result_document(result) -> dict:
+    return {
+        "match_pairs": sorted(sorted(pair) for pair in result.match_pairs),
+        "scored_edges": [
+            [left, right, round(score, 12)]
+            for left, right, score in result.scored_edges
+        ],
+        "clusters": sorted(sorted(cluster) for cluster in result.clusters),
+        "n_candidates": result.n_candidates,
+    }
+
+
+def run_serial(n_entities: int, seed: int) -> dict:
+    records, blocker, comparator, classifier = make_corpus(n_entities, seed)
+    return _result_document(
+        resolve(records, blocker, comparator, classifier)
+    )
+
+
+def run_sharded(
+    root: str,
+    n_entities: int,
+    seed: int,
+    n_shards: int,
+    chunk_size: int,
+    kill_shard,
+    kill_chunk,
+) -> dict:
+    records, blocker, comparator, classifier = make_corpus(n_entities, seed)
+    injector = None
+    if kill_shard is not None:
+        injector = FaultInjector(
+            kill(chunk=kill_chunk, shard=kill_shard, attempts=1)
+        )
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=2, base_delay=0.01),
+        failure="retry",
+        fault_injector=injector,
+    )
+    tracer = Tracer()
+    run = sharded_resolve(
+        records,
+        blocker,
+        comparator,
+        classifier,
+        n_shards=n_shards,
+        backend="inline",
+        chunk_size=chunk_size,
+        tracer=tracer,
+        resilience=resilience,
+        checkpoint=root,
+    )
+    counters = tracer.report().metrics.get("counters", {})
+    document = _result_document(run.result)
+    document["shards"] = [
+        {
+            "shard": shard.shard,
+            "n_pairs": shard.n_pairs,
+            "n_chunks": shard.n_chunks,
+            "completed_chunks": shard.completed_chunks,
+            "replayed_chunks": shard.replayed_chunks,
+            "resumed": shard.resumed,
+        }
+        for shard in run.shards
+    ]
+    document["counters"] = {
+        name: value
+        for name, value in sorted(counters.items())
+        if name.startswith(("dist.", "recovery."))
+    }
+    return document
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("mode", choices=("serial", "sharded"))
+    parser.add_argument(
+        "root", nargs="?", default=None, help="run-store directory"
+    )
+    parser.add_argument("--entities", type=int, default=24)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--chunk-size", type=int, default=64)
+    parser.add_argument("--kill-shard", type=int, default=None)
+    parser.add_argument("--kill-chunk", type=int, default=None)
+    options = parser.parse_args()
+    if options.mode == "serial":
+        document = run_serial(options.entities, options.seed)
+    else:
+        if options.root is None:
+            parser.error("sharded mode requires a run-store directory")
+        document = run_sharded(
+            options.root,
+            options.entities,
+            options.seed,
+            options.shards,
+            options.chunk_size,
+            options.kill_shard,
+            options.kill_chunk,
+        )
+    json.dump(document, sys.stdout, sort_keys=True)
+    sys.stdout.write("\n")
+
+
+if __name__ == "__main__":
+    main()

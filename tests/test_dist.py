@@ -232,3 +232,85 @@ class TestDistributedLinkage:
                 ThresholdClassifier(0.72), strategy, r,
             ).cost.makespan
         assert makespan("blocksplit", 16) < makespan("naive", 16)
+
+
+class TestOrderIndependentDedup:
+    """Regression: the per-run comparison cache must not depend on the
+    order reducers (or blocks) happen to emit raw pairs.
+
+    The dedup used to keep the first-seen orientation of each pair, so
+    two partitionings of the same blocks could score ``(a, b)`` in one
+    run and ``(b, a)`` in another. It now canonicalizes to the sorted
+    unique pair list before scoring, which is also what
+    ``execution="sharded"`` partitions.
+    """
+
+    def _records(self):
+        from repro.core import Record
+
+        return [
+            Record(f"r{i}", f"s{i % 2}", {"name": "acme item", "brand": "acme"})
+            for i in range(4)
+        ]
+
+    def _run(self, blocks, **kwargs):
+        return run_distributed_linkage(
+            self._records(),
+            blocks,
+            default_product_comparator(),
+            ThresholdClassifier(0.5),
+            "naive",
+            n_reducers=2,
+            **kwargs,
+        )
+
+    def test_block_order_and_orientation_are_irrelevant(self):
+        # The same pairs reach the dedup in different orders and
+        # orientations: (r1, r2) arrives as r1<r2 from one block and
+        # r2>r1 from the other, and reversing the block list flips
+        # which spelling is seen first.
+        forward = BlockCollection([
+            Block("k1", ("r0", "r1", "r2")),
+            Block("k2", ("r2", "r1", "r3")),
+        ])
+        reversed_blocks = BlockCollection([
+            Block("k2", ("r3", "r1", "r2")),
+            Block("k1", ("r2", "r1", "r0")),
+        ])
+        first = self._run(forward)
+        second = self._run(reversed_blocks)
+        assert first.match_pairs == second.match_pairs
+        assert first.n_unique_comparisons == second.n_unique_comparisons
+        assert first.n_comparisons == second.n_comparisons
+
+    def test_sharded_execution_matches_engine(self):
+        blocks = BlockCollection([
+            Block("k1", ("r0", "r1", "r2")),
+            Block("k2", ("r2", "r1", "r3")),
+        ])
+        serial = self._run(blocks)
+        sharded = self._run(blocks, execution="sharded", n_workers=3)
+        assert sharded.match_pairs == serial.match_pairs
+        assert sharded.n_unique_comparisons == serial.n_unique_comparisons
+
+
+class TestShardedDistributedLinkage:
+    def test_sharded_matches_serial_on_corpus(self):
+        world = generate_world(
+            WorldConfig(categories=("camera",), entities_per_category=15, seed=3)
+        )
+        dataset = generate_dataset(world, CorpusConfig(n_sources=4, seed=5))
+        records = list(dataset.records())
+        blocks = StandardBlocker(first_token_key("name")).block(records)
+        serial = run_distributed_linkage(
+            records, blocks, default_product_comparator(),
+            ThresholdClassifier(0.72), "blocksplit", n_reducers=4,
+        )
+        sharded = run_distributed_linkage(
+            records, blocks, default_product_comparator(),
+            ThresholdClassifier(0.72), "blocksplit", n_reducers=4,
+            execution="sharded", n_workers=3,
+        )
+        assert sharded.match_pairs == serial.match_pairs
+        assert sharded.n_unique_comparisons == serial.n_unique_comparisons
+        assert sharded.n_comparisons == serial.n_comparisons
