@@ -1,0 +1,85 @@
+"""Gate: degraded-mode read p99 stays within 3x of healthy serving.
+
+Degraded mode's contract is that reads are untaxed: when the serve
+circuit breaker opens, writes are shed but queries keep answering from
+the last published generation through the same probe-and-cache path.
+``BENCH_service.json`` (written by ``bench_e23_serve.py``) records the
+healthy mixed-load query p99; this gate re-runs the degraded read
+workload from ``bench_e25_supervision.py`` and fails the build when
+the degraded p99 exceeds ``3 x`` that healthy baseline (floored, so
+machine variance on sub-millisecond latencies cannot trip it) — i.e.
+when degraded mode started charging reads for the breaker, the shed
+path, or a lock held across write shedding.
+
+Run:  PYTHONPATH=src python benchmarks/check_supervision_degraded.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_e25_supervision import (
+    DEGRADED_FLOOR_MS,
+    DEGRADED_RATIO_BUDGET,
+    _corpus,
+    _degraded_read_phase,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small corpus (CI smoke size)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help="BENCH_service.json to read the healthy p99 from",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"no baseline at {args.baseline}; run "
+            "benchmarks/bench_e23_serve.py first"
+        )
+    baseline = json.loads(args.baseline.read_text())
+    healthy_p99_ms = baseline["mixed"]["query_p99_ms"]
+    budget_ms = max(
+        DEGRADED_RATIO_BUDGET * healthy_p99_ms, DEGRADED_FLOOR_MS
+    )
+
+    n_entities, n_sources = (12, 4) if args.quick else (30, 6)
+    n_probes = 24 if args.quick else 60
+    reads = _degraded_read_phase(
+        _corpus(n_entities, n_sources), n_probes=n_probes
+    )
+
+    degraded_p99_ms = reads["degraded_p99_ms"]
+    print(
+        f"degraded read p99 {degraded_p99_ms:.3f} ms vs budget "
+        f"{budget_ms:.1f} ms ({DEGRADED_RATIO_BUDGET:g}x healthy p99 "
+        f"{healthy_p99_ms:.3f} ms, floor {DEGRADED_FLOOR_MS:.0f} ms); "
+        f"healthy-in-run p99 {reads['healthy_p99_ms']:.3f} ms, "
+        f"ratio {reads['degraded_over_healthy']:g}"
+    )
+    if degraded_p99_ms > budget_ms:
+        raise SystemExit(
+            "degraded-mode read regression: p99 "
+            f"{degraded_p99_ms:.3f} ms exceeds {budget_ms:.1f} ms "
+            f"({DEGRADED_RATIO_BUDGET:g}x the healthy serving baseline)"
+        )
+    print("degraded-mode read latency gate: OK")
+
+
+if __name__ == "__main__":
+    main()

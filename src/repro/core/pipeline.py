@@ -56,6 +56,12 @@ class PipelineConfig:
     shards the fusion stage by item too. Output stays byte-identical
     to the serial pipeline. Sharded execution requires the threshold
     classifier and does not compose with ``memory_budget``.
+
+    ``supervision`` (a :class:`repro.supervision.SupervisionPolicy`,
+    sharded execution only) makes the linkage stage self-healing: a
+    :class:`repro.supervision.Supervisor` restarts shard workers that
+    die or hang from their own checkpoints, within the policy's
+    restart budget, with output unchanged.
     """
 
     schema_threshold: float = 0.6
@@ -73,6 +79,7 @@ class PipelineConfig:
     resilience: ResilienceConfig | None = None
     n_shards: int | None = None
     shard_backend: str = "process"
+    supervision: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.fusion not in {"vote", "truthfinder", "accuvote", "accucopy"}:
@@ -101,6 +108,18 @@ class PipelineConfig:
             )
         if self.n_workers is not None and self.n_workers < 1:
             raise ConfigurationError("n_workers must be >= 1")
+        if self.supervision is not None:
+            from repro.supervision import SupervisionPolicy
+
+            if not isinstance(self.supervision, SupervisionPolicy):
+                raise ConfigurationError(
+                    "supervision must be a SupervisionPolicy or None"
+                )
+            if self.execution != "sharded":
+                raise ConfigurationError(
+                    "supervision requires execution='sharded'; other "
+                    "modes have no shard workers to supervise"
+                )
         if self.resilience is not None and not isinstance(
             self.resilience, ResilienceConfig
         ):
@@ -389,6 +408,14 @@ class BDIPipeline:
                         classifier = ThresholdClassifier(
                             config.match_threshold
                         )
+                    supervisor = None
+                    if config.supervision is not None:
+                        from repro.obs import observe_supervisor
+                        from repro.supervision import Supervisor
+
+                        supervisor = Supervisor(
+                            config.supervision, tracer=tracer
+                        )
                     linkage = resolve(
                         records,
                         blocker,
@@ -410,7 +437,10 @@ class BDIPipeline:
                         ),
                         n_shards=config.n_shards,
                         shard_backend=config.shard_backend,
+                        supervisor=supervisor,
                     )
+                    if supervisor is not None:
+                        observe_supervisor(tracer, supervisor)
                     clusters = linkage.clusters
                     if config.use_identifier_linkage:
                         with tracer.span(

@@ -470,6 +470,7 @@ def _execute_shards(
     binding: _StoreBinding,
     signatures: Sequence[str],
     tracer,
+    supervisor=None,
 ) -> list[ShardResult]:
     """Run (or resume) every shard and persist per-shard results."""
     n_shards = len(buckets)
@@ -517,7 +518,19 @@ def _execute_shards(
             )
 
     pending = [shard for shard in range(n_shards) if tasks[shard] is not None]
-    if backend == "inline" or len(pending) <= 1:
+    if supervisor is not None and pending:
+        # Self-healing path: the supervisor owns launch, liveness
+        # monitoring, and restart-from-checkpoint for every pending
+        # shard; resumed shards above never re-execute.
+        executed = supervisor.execute(
+            {shard: tasks[shard] for shard in pending},
+            persist,
+            backend=backend,
+            binding=binding,
+        )
+        for shard, result in executed.items():
+            results[shard] = result
+    elif backend == "inline" or len(pending) <= 1:
         # Sequential, in shard order — a kill mid-shard leaves every
         # earlier shard's result persisted and the current shard's
         # engine chunks checkpointed, which is what single-shard
@@ -590,6 +603,7 @@ def sharded_resolve(
     checkpoint=None,
     spill_dir=None,
     representation: str = "dict",
+    supervisor=None,
 ) -> ShardedResolveRun:
     """Run the full linkage pipeline sharded across workers.
 
@@ -672,6 +686,7 @@ def sharded_resolve(
                 binding=binding,
                 signatures=signatures,
                 tracer=tracer,
+                supervisor=supervisor,
             )
         finally:
             if temp is not None:
@@ -741,6 +756,7 @@ def sharded_match_pairs(
     resilience=None,
     checkpoint=None,
     representation: str = "dict",
+    supervisor=None,
 ) -> EngineRun:
     """Shard an explicit canonical pair list and merge to one EngineRun.
 
@@ -773,6 +789,7 @@ def sharded_match_pairs(
         binding=binding,
         signatures=signatures,
         tracer=tracer,
+        supervisor=supervisor,
     )
     _emit_shard_metrics(tracer, shards, n_shards, spanning)
     match_pairs: set[frozenset[str]] = set()

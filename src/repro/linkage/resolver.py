@@ -97,6 +97,7 @@ def resolve(
     representation: Representation = "dict",
     n_shards: int | None = None,
     shard_backend: str = "process",
+    supervisor=None,
 ) -> LinkageResult:
     """Run block → compare → classify → cluster over ``records``.
 
@@ -154,8 +155,19 @@ def resolve(
     lets the cluster cost model plan it); ``shard_backend`` selects
     ``"process"`` workers or the ``"inline"`` sequential backend. The
     sharded path composes with everything except ``memory_budget``.
+
+    ``supervisor`` (a :class:`repro.supervision.Supervisor`, sharded
+    execution only) adds self-healing: shard workers that die or hang
+    are restarted from their own checkpoints under the supervisor's
+    restart budget, with output still byte-identical to an unfaulted
+    run.
     """
     tracer = tracer if tracer is not None else NULL_TRACER
+    if supervisor is not None and execution != "sharded":
+        raise ConfigurationError(
+            "supervisor requires execution='sharded'; other modes have "
+            "no shard workers to supervise"
+        )
     if execution == "sharded":
         if memory_budget is not None:
             raise ConfigurationError(
@@ -178,6 +190,7 @@ def resolve(
             checkpoint=checkpoint,
             spill_dir=spill_dir,
             representation=representation,
+            supervisor=supervisor,
         ).result
     if memory_budget is not None:
         return _resolve_streaming(

@@ -25,6 +25,7 @@ from repro.obs.instruments import (
     BLOCK_SIZE_BUCKETS,
     observe_block_collection,
     observe_candidate_pruning,
+    observe_supervisor,
     observe_text_caches,
 )
 from repro.obs.metrics import (
@@ -56,5 +57,6 @@ __all__ = [
     "Tracer",
     "observe_block_collection",
     "observe_candidate_pruning",
+    "observe_supervisor",
     "observe_text_caches",
 ]

@@ -13,6 +13,7 @@ __all__ = [
     "BLOCK_SIZE_BUCKETS",
     "observe_block_collection",
     "observe_candidate_pruning",
+    "observe_supervisor",
     "observe_text_caches",
 ]
 
@@ -46,6 +47,32 @@ def observe_candidate_pruning(
     tracer.counter(f"{prefix}.pairs_before").inc(n_before)
     tracer.counter(f"{prefix}.pairs_retained").inc(n_after)
     tracer.counter(f"{prefix}.pairs_pruned").inc(max(0, n_before - n_after))
+
+
+def observe_supervisor(
+    tracer, supervisor, prefix: str = "supervision"
+) -> None:
+    """Publish a supervisor's healing summary as gauges.
+
+    The :class:`~repro.supervision.Supervisor` already counts its
+    decisions live (``supervision.{starts,deaths,hangs,restarts,
+    recovered,exhausteds}``); this helper adds the end-of-run summary
+    gauges a dashboard alerts on — total events, distinct shards that
+    needed healing, and the worst per-shard restart count.
+    """
+    restarts_by_shard: dict[int, int] = {}
+    for event in supervisor.events:
+        if event.kind == "restart":
+            restarts_by_shard[event.shard] = (
+                restarts_by_shard.get(event.shard, 0) + 1
+            )
+    tracer.gauge(f"{prefix}.events").set(float(len(supervisor.events)))
+    tracer.gauge(f"{prefix}.healed_shards").set(
+        float(len(restarts_by_shard))
+    )
+    tracer.gauge(f"{prefix}.max_shard_restarts").set(
+        float(max(restarts_by_shard.values(), default=0))
+    )
 
 
 def observe_text_caches(tracer) -> None:

@@ -26,9 +26,22 @@ __all__ = [
 ]
 
 #: Dataclass fields that carry execution plumbing rather than semantics;
-#: two configs differing only here compute identical results.
+#: two configs differing only here compute identical results. The
+#: supervision knobs belong here by the supervisor's own contract: a
+#: supervised run's output is byte-identical to an unfaulted one, so a
+#: run killed under one restart budget may resume under another.
 NONSEMANTIC_FIELDS = frozenset(
-    {"clock", "sleep", "fault_injector", "tracer", "dead_letter_path"}
+    {
+        "clock",
+        "sleep",
+        "fault_injector",
+        "tracer",
+        "dead_letter_path",
+        "dead_letter_max_entries",
+        "dead_letter_max_bytes",
+        "heartbeat",
+        "supervision",
+    }
 )
 
 

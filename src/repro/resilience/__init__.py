@@ -37,6 +37,7 @@ from repro.resilience.policy import (
     FailurePolicy,
     InjectedCrash,
     InjectedHang,
+    InjectedWorkerDeath,
     PoisonPairError,
     ResilienceConfig,
     ResilienceError,
@@ -53,6 +54,7 @@ __all__ = [
     "FailurePolicy",
     "InjectedCrash",
     "InjectedHang",
+    "InjectedWorkerDeath",
     "PoisonPairError",
     "ResilienceConfig",
     "ResilienceError",

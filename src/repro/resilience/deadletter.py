@@ -100,41 +100,117 @@ class DeadLetterLog:
     :meth:`from_jsonl` skips. Entries passed to the constructor (or
     :meth:`restore`) are assumed already persisted and are not
     re-written.
+
+    ``max_entries`` / ``max_bytes`` bound the log: once either limit
+    is exceeded, the *oldest* entries rotate out — in memory and, when
+    durable, by atomically rewriting the sink — with the retained-tail
+    guarantee that the newest ``max_entries`` entries (respectively the
+    newest entries fitting in ``max_bytes``, and always at least the
+    newest one) survive. :attr:`dropped` counts everything rotated
+    away, so a sustained skip-mode fault storm stays accounted for
+    even though the log stops growing.
     """
 
     def __init__(
         self,
         entries: Iterable[DeadLetterEntry] = (),
         path: str | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
     ) -> None:
+        for name, value in (
+            ("max_entries", max_entries), ("max_bytes", max_bytes),
+        ):
+            if value is not None and (
+                not isinstance(value, int) or value < 1
+            ):
+                raise ValueError(
+                    f"{name} must be an integer >= 1, got {value!r}"
+                )
         self._entries: list[DeadLetterEntry] = list(entries)
         self._path = path
+        self._max_entries = max_entries
+        self._max_bytes = max_bytes
+        #: Entries rotated out over this log's lifetime.
+        self.dropped = 0
+        #: How many rotation passes actually dropped entries.
+        self.rotations = 0
+        self._rotate()
 
     @property
     def path(self) -> str | None:
         """The durable JSONL sink, if any."""
         return self._path
 
-    def _append_durable(self, entry: DeadLetterEntry) -> None:
-        line = json.dumps(
+    @staticmethod
+    def _line(entry: DeadLetterEntry) -> str:
+        return json.dumps(
             entry.to_dict(), sort_keys=True, ensure_ascii=False
         )
+
+    def _append_durable(self, entry: DeadLetterEntry) -> None:
         # One write() call for the whole line keeps the append atomic
         # under O_APPEND; fsync makes it durable before we return.
         with open(self._path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+            handle.write(self._line(entry) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def _rotate(self) -> None:
+        """Drop the oldest entries past the configured bounds.
+
+        Retained-tail guarantee: the suffix that survives is always the
+        newest entries, and never empty while the log has any — even a
+        single entry larger than ``max_bytes`` is kept, because losing
+        the *latest* quarantine would defeat the log's purpose.
+        """
+        if self._max_entries is None and self._max_bytes is None:
+            return
+        keep_from = 0
+        if (
+            self._max_entries is not None
+            and len(self._entries) > self._max_entries
+        ):
+            keep_from = len(self._entries) - self._max_entries
+        if self._max_bytes is not None and self._entries:
+            total = 0
+            cutoff = len(self._entries) - 1
+            for index in range(len(self._entries) - 1, -1, -1):
+                total += len(
+                    self._line(self._entries[index]).encode("utf-8")
+                ) + 1
+                if total > self._max_bytes and index < len(self._entries) - 1:
+                    break
+                cutoff = index
+            keep_from = max(keep_from, cutoff)
+        if keep_from <= 0:
+            return
+        self.dropped += keep_from
+        self.rotations += 1
+        del self._entries[:keep_from]
+        if self._path is not None:
+            self._rewrite_durable()
+
+    def _rewrite_durable(self) -> None:
+        """Atomically replace the sink with the retained tail."""
+        tmp = f"{self._path}.rotate.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self._path)
 
     def add(self, entry: DeadLetterEntry) -> None:
         self._entries.append(entry)
         if self._path is not None:
             self._append_durable(entry)
+        self._rotate()
 
     def restore(self, entries: Iterable[DeadLetterEntry]) -> None:
         """Re-attach already-persisted entries (checkpoint replay)
         without re-appending them to the durable sink."""
         self._entries.extend(entries)
+        self._rotate()
 
     def merge(self, other: "DeadLetterLog") -> None:
         """Append every entry of ``other`` (in order), durably when

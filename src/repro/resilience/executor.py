@@ -23,11 +23,18 @@ timeout for the process backend). The executor then guarantees:
    completes with partial results.
 
 Every attempt, retry, failure, bisection, and quarantine emits
-``resilience.*`` counters, and a heartbeat gauge pair
-(``resilience.heartbeat_chunk`` / ``resilience.heartbeat_time``) is
-written *before* each attempt blocks — so a hung worker is visible in
-the :class:`~repro.obs.report.RunReport` as a heartbeat frozen at the
-stalled chunk.
+``resilience.*`` counters, and a heartbeat gauge set
+(``resilience.heartbeat_seq`` / ``heartbeat_chunk`` /
+``heartbeat_time``) is written *before* each attempt blocks — so a
+hung worker is visible in the :class:`~repro.obs.report.RunReport` as
+a heartbeat frozen at the stalled chunk. The sequence number is the
+load-bearing one: it increments monotonically per attempt, so a
+supervisor comparing consecutive observations can tell "dead between
+heartbeats" from "slow" without consulting any wall clock — a frozen
+seq is staleness regardless of how timestamps drift. When the config
+carries a ``heartbeat`` emitter
+(:class:`repro.supervision.HeartbeatEmitter`), the same beat is
+published cross-process before every attempt.
 """
 
 from __future__ import annotations
@@ -129,6 +136,7 @@ class ResilientChunkExecutor:
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._scope = scope
         self._checkpoint = checkpoint
+        self._heartbeat_seq = 0
         # Route the store's recovery.* counters into this run's tracer
         # unless the caller already bound one.
         if (
@@ -185,7 +193,9 @@ class ResilientChunkExecutor:
         outcome = ResilientOutcome(
             n_chunks=n_chunks or 0,
             dead_letters=DeadLetterLog(
-                path=self._config.dead_letter_path
+                path=self._config.dead_letter_path,
+                max_entries=self._config.dead_letter_max_entries,
+                max_bytes=self._config.dead_letter_max_bytes,
             ),
         )
         started = self._clock.now()
@@ -357,10 +367,17 @@ class ResilientChunkExecutor:
         failure: _Failure | None = None
         for attempt in range(1, max_attempts + 1):
             # Heartbeat first, so a stall leaves the last dispatched
-            # chunk/attempt/timestamp visible in the run report.
+            # chunk/attempt/timestamp visible in the run report. The
+            # sequence number increments on every attempt: a worker
+            # that dies between beats leaves it frozen, which is how
+            # staleness is detected without wall clocks.
+            self._heartbeat_seq += 1
+            tracer.gauge("resilience.heartbeat_seq").set(self._heartbeat_seq)
             tracer.gauge("resilience.heartbeat_chunk").set(top_index)
             tracer.gauge("resilience.heartbeat_attempt").set(attempt)
             tracer.gauge("resilience.heartbeat_time").set(self._clock.now())
+            if config.heartbeat is not None:
+                config.heartbeat.beat(chunk=top_index, attempt=attempt)
             outcome.n_attempts += 1
             tracer.counter("resilience.attempts").inc()
             try:

@@ -30,6 +30,7 @@ __all__ = [
     "FailurePolicy",
     "InjectedCrash",
     "InjectedHang",
+    "InjectedWorkerDeath",
     "PoisonPairError",
     "ResilienceConfig",
     "ResilienceError",
@@ -131,6 +132,26 @@ class InjectedCrash(RuntimeError):
 class InjectedHang(ResilienceError):
     """A simulated hang: the executor charges the attempt its full
     timeout on the injected clock and records a timeout failure."""
+
+
+class InjectedWorkerDeath(BaseException):
+    """An injected hard worker death (the ``flap`` fault).
+
+    Deliberately a :class:`BaseException`: the in-process retry /
+    bisect / quarantine machinery must *not* absorb it — a dead worker
+    is not a failed chunk. Only a supervisor
+    (:class:`repro.supervision.Supervisor`) handles it, by restarting
+    the worker; in a real worker process the supervised wrapper
+    converts it into a hard exit with status 137.
+    """
+
+    def __init__(self, shard: int | None, incarnation: int) -> None:
+        super().__init__(
+            f"injected worker death: shard {shard} "
+            f"incarnation {incarnation}"
+        )
+        self.shard = shard
+        self.incarnation = incarnation
 
 
 def _unit_fraction(text: str) -> float:
@@ -236,6 +257,15 @@ class ResilienceConfig:
     executor's :class:`~repro.resilience.deadletter.DeadLetterLog`
     appends each entry to that JSONL file with flush+fsync as it is
     written, so quarantined work survives process death mid-run.
+    ``dead_letter_max_entries`` / ``dead_letter_max_bytes`` bound that
+    log under sustained skip-mode faults (oldest entries rotate out,
+    the newest tail is always retained).
+
+    ``heartbeat``, when set (a
+    :class:`repro.supervision.HeartbeatEmitter`), is beaten before
+    every chunk attempt with a monotonic sequence number — the
+    cross-process liveness signal a supervisor watches to tell a dead
+    worker from a slow one without wall clocks.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -246,6 +276,9 @@ class ResilienceConfig:
     sleep: Callable[[float], None] | None = None
     fault_injector: object | None = None
     dead_letter_path: str | None = None
+    dead_letter_max_entries: int | None = None
+    dead_letter_max_bytes: int | None = None
+    heartbeat: object | None = None
 
     def __post_init__(self) -> None:
         if self.failure not in FAILURE_POLICIES:
@@ -266,6 +299,14 @@ class ResilienceConfig:
             if value <= 0:
                 raise ConfigurationError(
                     f"{name} must be > 0, got {value!r}"
+                )
+        for name in ("dead_letter_max_entries", "dead_letter_max_bytes"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, int) or value < 1:
+                raise ConfigurationError(
+                    f"{name} must be an integer >= 1, got {value!r}"
                 )
         if (
             self.timeout is not None

@@ -28,12 +28,27 @@ Fault kinds
   (:mod:`repro.recovery`) survives it; pair with a
   :class:`~repro.recovery.RunStore` and resume the run in a fresh
   process.
+- ``"slow"``    — injects ``delay`` seconds of latency (through the
+  injector's ``sleeper``, real by default) before the attempt runs: a
+  degraded-but-alive worker, the input hang detectors must *not*
+  mistake for a dead one.
+- ``"flap"``    — raises
+  :class:`~repro.resilience.policy.InjectedWorkerDeath`, a
+  ``BaseException`` the retry machinery cannot absorb: the worker is
+  dead and only a supervisor restart (or, in a real worker process, a
+  hard exit 137) handles it. Target specific restarts with
+  ``incarnations`` — ``flap(shard=1, incarnations=(1, 2))`` kills the
+  shard's first two incarnations and lets the third run clean, which
+  is how repeated-crash-then-recover timelines stay deterministic.
 
 Targeting composes: ``chunk`` matches the top-level chunk index,
 ``item`` matches any chunk *containing* that item (which is how a
-poison pair keeps failing through bisection until it is isolated), and
+poison pair keeps failing through bisection until it is isolated),
 ``attempts`` limits firing to specific 1-based attempt numbers (omit it
-for a persistent fault, ``attempts=1`` for a transient one).
+for a persistent fault, ``attempts=1`` for a transient one), and
+``incarnations`` limits firing to specific 1-based worker incarnations
+(bound via :meth:`FaultInjector.bind_incarnation` by the supervisor on
+every launch and restart).
 
 This module ships with the library — not just its test suite — so
 downstream users can chaos-test their own deployments the same way::
@@ -54,12 +69,18 @@ downstream users can chaos-test their own deployments the same way::
 
 from __future__ import annotations
 
+import math
 import os
+import time
 from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.errors import ConfigurationError
-from repro.resilience.policy import InjectedCrash, InjectedHang
+from repro.resilience.policy import (
+    InjectedCrash,
+    InjectedHang,
+    InjectedWorkerDeath,
+)
 
 __all__ = [
     "FaultEvent",
@@ -67,12 +88,16 @@ __all__ = [
     "FaultSpec",
     "KILL_EXIT_CODE",
     "crash",
+    "flap",
     "garbage",
     "hang",
     "kill",
+    "slow",
 ]
 
-FAULT_KINDS: tuple[str, ...] = ("crash", "hang", "garbage", "kill")
+FAULT_KINDS: tuple[str, ...] = (
+    "crash", "hang", "garbage", "kill", "slow", "flap",
+)
 
 #: Exit status used by ``kind="kill"`` — the conventional status of a
 #: process terminated by SIGKILL (128 + 9), so resume harnesses can
@@ -92,14 +117,18 @@ def _normalize_attempts(attempts) -> frozenset | None:
 class FaultSpec:
     """One declarative fault rule.
 
-    ``chunk`` / ``item`` / ``attempts`` / ``shard`` are conjunctive
-    filters; a ``None`` filter matches everything. ``shard`` restricts
-    the rule to the worker bound to that shard id via
-    :meth:`FaultInjector.bind_shard` (the sharded runtime binds each
-    worker before it runs its chunks); an unbound injector never fires
-    shard-targeted rules. ``max_fires`` caps how many times the rule
-    fires in total (``None`` = unlimited). ``payload`` is the garbage
-    value substituted for ``kind="garbage"``.
+    ``chunk`` / ``item`` / ``attempts`` / ``shard`` / ``incarnations``
+    are conjunctive filters; a ``None`` filter matches everything.
+    ``shard`` restricts the rule to the worker bound to that shard id
+    via :meth:`FaultInjector.bind_shard` (the sharded runtime binds
+    each worker before it runs its chunks); an unbound injector never
+    fires shard-targeted rules. ``incarnations`` restricts the rule to
+    specific 1-based worker incarnations (bound via
+    :meth:`FaultInjector.bind_incarnation`; an unbound injector is
+    incarnation 1). ``max_fires`` caps how many times the rule fires
+    in total (``None`` = unlimited). ``payload`` is the garbage value
+    substituted for ``kind="garbage"``; ``delay`` is the injected
+    latency in seconds for ``kind="slow"``.
     """
 
     kind: str
@@ -109,6 +138,8 @@ class FaultSpec:
     max_fires: int | None = None
     payload: object = None
     shard: int | None = None
+    incarnations: object = None
+    delay: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -118,8 +149,19 @@ class FaultSpec:
             )
         if self.max_fires is not None and self.max_fires < 1:
             raise ConfigurationError("max_fires must be >= 1")
+        if (
+            not isinstance(self.delay, (int, float))
+            or not math.isfinite(self.delay)
+            or self.delay < 0
+        ):
+            raise ConfigurationError(
+                f"delay must be a finite number >= 0, got {self.delay!r}"
+            )
         object.__setattr__(
             self, "attempts", _normalize_attempts(self.attempts)
+        )
+        object.__setattr__(
+            self, "incarnations", _normalize_attempts(self.incarnations)
         )
 
     def matches(self, chunk_index: int, items: list, attempt: int) -> bool:
@@ -138,9 +180,13 @@ def crash(
     attempts=None,
     max_fires: int | None = None,
     shard: int | None = None,
+    incarnations=None,
 ) -> FaultSpec:
     """A crash rule (see :class:`FaultSpec` for targeting)."""
-    return FaultSpec("crash", chunk, item, attempts, max_fires, shard=shard)
+    return FaultSpec(
+        "crash", chunk, item, attempts, max_fires,
+        shard=shard, incarnations=incarnations,
+    )
 
 
 def hang(
@@ -149,9 +195,13 @@ def hang(
     attempts=None,
     max_fires: int | None = None,
     shard: int | None = None,
+    incarnations=None,
 ) -> FaultSpec:
     """A hang rule: the attempt burns its full timeout, then fails."""
-    return FaultSpec("hang", chunk, item, attempts, max_fires, shard=shard)
+    return FaultSpec(
+        "hang", chunk, item, attempts, max_fires,
+        shard=shard, incarnations=incarnations,
+    )
 
 
 def kill(
@@ -160,15 +210,20 @@ def kill(
     attempts=None,
     max_fires: int | None = None,
     shard: int | None = None,
+    incarnations=None,
 ) -> FaultSpec:
     """A process-kill rule: the driver dies hard via ``os._exit``.
 
     Unlike ``crash`` this is unrecoverable in-process — the run ends
     instantly with exit status :data:`KILL_EXIT_CODE` and must be
     resumed from its checkpoints in a fresh process. Use only inside a
-    sacrificial subprocess (see ``tests/recovery_driver.py``).
+    sacrificial subprocess (see ``tests/recovery_driver.py``) or a
+    supervised worker.
     """
-    return FaultSpec("kill", chunk, item, attempts, max_fires, shard=shard)
+    return FaultSpec(
+        "kill", chunk, item, attempts, max_fires,
+        shard=shard, incarnations=incarnations,
+    )
 
 
 def garbage(
@@ -178,10 +233,57 @@ def garbage(
     max_fires: int | None = None,
     payload: object = None,
     shard: int | None = None,
+    incarnations=None,
 ) -> FaultSpec:
     """A garbage rule: the attempt's result is replaced by ``payload``."""
     return FaultSpec(
-        "garbage", chunk, item, attempts, max_fires, payload, shard=shard
+        "garbage", chunk, item, attempts, max_fires, payload,
+        shard=shard, incarnations=incarnations,
+    )
+
+
+def slow(
+    chunk: int | None = None,
+    item: object | None = None,
+    attempts=None,
+    max_fires: int | None = None,
+    shard: int | None = None,
+    incarnations=None,
+    delay: float = 0.05,
+) -> FaultSpec:
+    """A latency rule: the attempt is delayed ``delay`` seconds.
+
+    The attempt still runs (and usually succeeds) after the delay — a
+    degraded worker, not a dead one. Hang detection built on heartbeat
+    *sequence numbers* keeps making progress through a slow fault;
+    detection built on wall-clock gaps would falsely kill the worker.
+    """
+    return FaultSpec(
+        "slow", chunk, item, attempts, max_fires,
+        shard=shard, incarnations=incarnations, delay=delay,
+    )
+
+
+def flap(
+    chunk: int | None = None,
+    item: object | None = None,
+    attempts=None,
+    max_fires: int | None = None,
+    shard: int | None = None,
+    incarnations=None,
+) -> FaultSpec:
+    """A repeating-death rule: the worker dies, restarts, dies again.
+
+    Fires :class:`~repro.resilience.policy.InjectedWorkerDeath` (in a
+    supervised worker process: a hard exit 137) on every matching
+    incarnation. ``flap(shard=1, incarnations=(1, 2))`` is the
+    canonical flapping worker: dead on launch, dead on first restart,
+    clean on the second — exactly reproducible because the supervisor
+    binds the incarnation number before every (re)launch.
+    """
+    return FaultSpec(
+        "flap", chunk, item, attempts, max_fires,
+        shard=shard, incarnations=incarnations,
     )
 
 
@@ -193,21 +295,28 @@ class FaultEvent:
     chunk: int
     attempt: int
     n_items: int
+    incarnation: int = 1
 
 
 class FaultInjector:
     """The executor-facing hook that fires :class:`FaultSpec` rules.
 
     The executor calls :meth:`on_attempt` before dispatching a chunk
-    attempt (crash/hang rules fire here) and :meth:`on_result` after a
-    successful attempt (garbage rules fire here). Every firing is
-    appended to :attr:`history` so tests can assert exactly which
-    faults the run absorbed.
+    attempt (crash/hang/kill/slow/flap rules fire here) and
+    :meth:`on_result` after a successful attempt (garbage rules fire
+    here). Every firing is appended to :attr:`history` so tests can
+    assert exactly which faults the run absorbed.
+
+    ``sleeper`` serves ``slow`` faults (default :func:`time.sleep`);
+    inject a :meth:`ManualClock.advance <repro.obs.clock.ManualClock.advance>`
+    to make injected latency instant and exact.
     """
 
-    def __init__(self, *specs: FaultSpec) -> None:
+    def __init__(self, *specs: FaultSpec, sleeper=None) -> None:
         self._specs: list[list] = [[spec, 0] for spec in specs]
         self._shard: int | None = None
+        self._incarnation: int = 1
+        self._sleeper = sleeper if sleeper is not None else time.sleep
         self.history: list[FaultEvent] = []
 
     def bind_shard(self, shard: int | None) -> None:
@@ -221,6 +330,20 @@ class FaultInjector:
         """
         self._shard = shard
 
+    def bind_incarnation(self, incarnation: int) -> None:
+        """Declare which worker incarnation (1-based) is running.
+
+        The supervisor binds ``1`` on first launch and ``restarts + 1``
+        on every restart (in the worker process itself for the process
+        backend), so ``incarnations``-targeted specs replay identically
+        across supervised runs. An unbound injector is incarnation 1.
+        """
+        if not isinstance(incarnation, int) or incarnation < 1:
+            raise ConfigurationError(
+                f"incarnation must be an integer >= 1, got {incarnation!r}"
+            )
+        self._incarnation = incarnation
+
     def _fire(self, kinds, chunk_index, items, attempt) -> FaultSpec | None:
         for slot in self._specs:
             spec, fired = slot
@@ -230,25 +353,40 @@ class FaultInjector:
                 continue
             if spec.shard is not None and spec.shard != self._shard:
                 continue
+            if (
+                spec.incarnations is not None
+                and self._incarnation not in spec.incarnations
+            ):
+                continue
             if spec.matches(chunk_index, list(items), attempt):
                 slot[1] = fired + 1
                 self.history.append(
-                    FaultEvent(spec.kind, chunk_index, attempt, len(items))
+                    FaultEvent(
+                        spec.kind, chunk_index, attempt, len(items),
+                        self._incarnation,
+                    )
                 )
                 return spec
         return None
 
     def on_attempt(self, chunk_index: int, items, attempt: int) -> None:
-        """Raise the configured crash/hang — or kill the process —
-        for this attempt, if any rule fires."""
+        """Raise the configured crash/hang/death — or kill or delay
+        the process — for this attempt, if any rule fires."""
         spec = self._fire(
-            ("crash", "hang", "kill"), chunk_index, items, attempt
+            ("crash", "hang", "kill", "slow", "flap"),
+            chunk_index, items, attempt,
         )
         if spec is None:
             return
         if spec.kind == "kill":
             # Hard death: no unwinding, no cleanup. Models SIGKILL.
             os._exit(KILL_EXIT_CODE)
+        if spec.kind == "flap":
+            raise InjectedWorkerDeath(self._shard, self._incarnation)
+        if spec.kind == "slow":
+            if spec.delay:
+                self._sleeper(spec.delay)
+            return
         if spec.kind == "crash":
             raise InjectedCrash(
                 f"injected crash: chunk {chunk_index} attempt {attempt}"

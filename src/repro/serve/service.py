@@ -46,9 +46,16 @@ from repro.linkage.comparison import RecordComparator
 from repro.linkage.incremental import IncrementalLinker
 from repro.linkage.resolver import MatchClassifier, resolve
 from repro.obs import NULL_TRACER, SystemClock
-from repro.resilience import DeadLetterEntry, DeadLetterLog, ResilienceConfig
+from repro.resilience import (
+    DeadLetterEntry,
+    DeadLetterLog,
+    DeadlineExceededError,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.serve.cache import MISS, GenerationCache
 from repro.serve.store import EntityStore, entity_id_for
+from repro.supervision import AdmissionGate, CircuitBreaker, Overloaded, OverloadPolicy
 
 __all__ = ["IngestResult", "ResolutionService", "ResolvedEntity"]
 
@@ -81,7 +88,10 @@ class IngestResult:
     ``position`` is the record's durable log position (assigned before
     linking — it stands even if linking is quarantined). A quarantined
     ingest has ``entity_id=None``; the record is reconciled by the next
-    refresh or restart replay.
+    refresh or restart replay. A *shed* ingest (degraded mode with
+    ``shed="dead_letter"``) was never appended to the log at all —
+    ``position`` is ``-1`` and the payload lives only in the
+    dead-letter log, for replay once the service recovers.
     """
 
     record_id: str
@@ -90,6 +100,7 @@ class IngestResult:
     comparisons: int = 0
     matched_entities: tuple[str, ...] = ()
     quarantined: bool = False
+    shed: bool = False
 
 
 class _Generation:
@@ -139,6 +150,16 @@ class ResolutionService:
         Read-path LRU size (entries), keyed by generation stamp.
     durable:
         ``False`` skips fsyncs (benchmarks); atomicity is kept.
+    overload:
+        Optional :class:`repro.supervision.OverloadPolicy` turning on
+        overload protection: a bounded admission gate on writes, a
+        circuit breaker around ingest-side linking and refresh, and
+        degraded-mode serving — reads keep answering from the last
+        published generation while the breaker is open and writes are
+        shed (rejected with :class:`~repro.supervision.Overloaded`, or
+        dead-lettered under ``shed="dead_letter"``). The breaker
+        re-arms automatically: after ``reset_timeout`` one trial write
+        (or a successful :meth:`refresh`) closes it.
     """
 
     def __init__(
@@ -155,6 +176,7 @@ class ResolutionService:
         tracer=None,
         fingerprint: str | None = None,
         durable: bool = True,
+        overload: OverloadPolicy | None = None,
     ) -> None:
         self._tracer = tracer if tracer is not None else NULL_TRACER
         self._key_functions = tuple(key_functions)
@@ -173,8 +195,41 @@ class ResolutionService:
         self._cache = GenerationCache(cache_capacity, tracer=self._tracer)
         self._lock = threading.RLock()
         self._dead_letters = DeadLetterLog(
-            path=resilience.dead_letter_path if resilience else None
+            path=resilience.dead_letter_path if resilience else None,
+            max_entries=(
+                resilience.dead_letter_max_entries if resilience else None
+            ),
+            max_bytes=(
+                resilience.dead_letter_max_bytes if resilience else None
+            ),
         )
+        if overload is not None and not isinstance(overload, OverloadPolicy):
+            raise ConfigurationError(
+                "overload must be an OverloadPolicy or None"
+            )
+        self._overload = overload
+        self._gate: AdmissionGate | None = None
+        self._breaker: CircuitBreaker | None = None
+        self._last_refresh_error: str | None = None
+        if overload is not None:
+            self._gate = AdmissionGate(
+                overload.max_pending_writes,
+                retry_after=overload.admission_retry_after,
+                tracer=self._tracer,
+                name="serve",
+            )
+            breaker_clock = overload.clock
+            if breaker_clock is None and resilience is not None:
+                breaker_clock = resilience.clock
+            self._breaker = CircuitBreaker(
+                failure_threshold=overload.failure_threshold,
+                reset_timeout=overload.reset_timeout,
+                clock=breaker_clock,
+                tracer=self._tracer,
+                name="serve.breaker",
+                on_state_change=self._on_breaker_state,
+            )
+            self._tracer.gauge("serve.degraded").set(0.0)
         self._generation = self._restore()
 
     # --- construction / recovery -------------------------------------
@@ -338,12 +393,73 @@ class ResolutionService:
         )
 
     def _now(self) -> float:
+        if self._overload is not None and self._overload.clock is not None:
+            return self._overload.clock.now()
         if self._resilience is not None and self._resilience.clock is not None:
             return self._resilience.clock.now()
         return SystemClock().now()
 
+    def _on_breaker_state(self, old: str, new: str) -> None:
+        """Mirror breaker transitions into the degraded-mode gauge."""
+        self._tracer.gauge("serve.degraded").set(
+            1.0 if new == "open" else 0.0
+        )
+
+    def _effective_deadline(self, deadline: float | None) -> float | None:
+        if deadline is not None:
+            return deadline
+        if self._overload is not None:
+            return self._overload.deadline
+        return None
+
+    def _shed(self, record: Record) -> IngestResult:
+        """Degraded mode: refuse (or dead-letter) one write.
+
+        The record is *not* appended to the log — shedding exists to
+        keep the ingest path's work off a struggling service entirely.
+        Under ``shed="dead_letter"`` the payload is preserved in the
+        dead-letter log for replay after recovery; under ``"reject"``
+        the caller gets :class:`~repro.supervision.Overloaded` with the
+        breaker's remaining open window as ``retry_after``.
+        """
+        assert self._breaker is not None and self._overload is not None
+        retry_after = self._breaker.retry_after()
+        self._tracer.counter("serve.shed").inc()
+        self._tracer.counter("serve.shed_degraded").inc()
+        if self._overload.shed == "dead_letter":
+            self._dead_letters.add(
+                DeadLetterEntry(
+                    scope="serve.ingest.shed",
+                    chunk_id=str(self._store.log_length),
+                    kind="overload",
+                    error_type="Overloaded",
+                    error=(
+                        f"breaker open; retry after {retry_after:.3f}s"
+                    ),
+                    attempts=0,
+                    items=(record.record_id,),
+                    quarantined_at=self._now(),
+                )
+            )
+            return IngestResult(
+                record_id=record.record_id,
+                position=-1,
+                entity_id=None,
+                quarantined=True,
+                shed=True,
+            )
+        raise Overloaded(
+            f"service degraded (breaker open); retry after "
+            f"{retry_after:.3f}s",
+            retry_after=retry_after,
+        )
+
     def _guarded_link(
-        self, generation: _Generation, record: Record, position: int
+        self,
+        generation: _Generation,
+        record: Record,
+        position: int,
+        deadline: float | None = None,
     ) -> IngestResult:
         """Run the linking step under the resilience policy.
 
@@ -352,42 +468,77 @@ class ResolutionService:
         death *after* the durable append, mid-ingest. Quarantined
         records stay durable-but-unlinked singletons until the next
         refresh or restart replays them.
+
+        ``deadline`` (seconds on the service clock) caps the whole
+        retry loop: once it expires, remaining attempts are abandoned —
+        quarantined as ``kind="deadline"`` under ``failure="skip"``,
+        raised as :class:`DeadlineExceededError` otherwise.
         """
         config = self._resilience
-        if config is None:
+        if config is None and deadline is None:
             return self._link_record(generation, record)
-        sleep = config.sleep if config.sleep is not None else time.sleep
-        attempts = max(1, config.retry.max_attempts)
+        failure = config.failure if config is not None else "fail"
+        retry = config.retry if config is not None else None
+        sleep = (
+            config.sleep
+            if config is not None and config.sleep is not None
+            else time.sleep
+        )
+        attempts = max(1, retry.max_attempts) if retry is not None else 1
+        injector = config.fault_injector if config is not None else None
+        started = self._now()
         last_error: Exception | None = None
+        timed_out = False
+        attempt = 0
         for attempt in range(1, attempts + 1):
+            if deadline is not None and self._now() - started > deadline:
+                timed_out = True
+                break
             try:
-                if config.fault_injector is not None:
-                    config.fault_injector.on_attempt(
+                if injector is not None:
+                    injector.on_attempt(
                         position, [record.record_id], attempt
                     )
                 return self._link_record(generation, record)
             except Exception as error:  # noqa: BLE001 - policy boundary
                 last_error = error
-                if config.failure == "fail":
+                if failure == "fail":
                     raise
                 if attempt < attempts:
                     sleep(
-                        config.retry.delay(
+                        retry.delay(
                             attempt, salt=f"serve.ingest.{position}"
                         )
                     )
-        if config.failure == "retry":
-            assert last_error is not None
-            raise last_error
-        # failure == "skip": quarantine and keep serving.
+        made = attempts
+        if timed_out:
+            made = attempt - 1
+            elapsed = self._now() - started
+            self._tracer.counter("serve.deadline_exceeded").inc()
+            if failure != "skip":
+                raise DeadlineExceededError(deadline, elapsed)
+            kind = "deadline"
+            error_type = "DeadlineExceededError"
+            error_text = (
+                f"ingest deadline of {deadline}s exceeded after "
+                f"{elapsed:.3f}s"
+            )
+        else:
+            if failure == "retry":
+                assert last_error is not None
+                raise last_error
+            # failure == "skip": quarantine and keep serving.
+            kind = "crash"
+            error_type = type(last_error).__name__
+            error_text = str(last_error)
         self._dead_letters.add(
             DeadLetterEntry(
                 scope="serve.ingest",
                 chunk_id=str(position),
-                kind="crash",
-                error_type=type(last_error).__name__,
-                error=str(last_error),
-                attempts=attempts,
+                kind=kind,
+                error_type=error_type,
+                error=error_text,
+                attempts=made,
                 items=(record.record_id,),
                 quarantined_at=self._now(),
             )
@@ -417,31 +568,64 @@ class ResolutionService:
         with self._lock:
             return self._generation.number
 
-    def ingest(self, record: Record) -> IngestResult:
+    def ingest(
+        self, record: Record, deadline: float | None = None
+    ) -> IngestResult:
         """Durably ingest one record and link it incrementally.
 
         The record is fsynced to the log *before* linking: once this
         method has appended, the record survives any crash (the restart
         replay relinks it). Linking runs under the resilience policy;
         see :class:`IngestResult` for the quarantine outcome.
+
+        With an :class:`~repro.supervision.OverloadPolicy` configured,
+        the write first passes the admission gate (raising
+        :class:`~repro.supervision.Overloaded` when too many writes are
+        already in flight) and then the circuit breaker: while the
+        breaker is open the write is shed *before* the durable append
+        (see :meth:`_shed`). ``deadline`` (seconds, default from the
+        policy) caps this request's linking work.
         """
-        with self._lock:
-            generation = self._generation
-            if record.record_id in generation.linker:
-                raise ConfigurationError(
-                    f"record {record.record_id!r} already ingested"
+        if self._gate is not None:
+            self._gate.acquire()
+        try:
+            with self._lock:
+                generation = self._generation
+                if record.record_id in generation.linker:
+                    raise ConfigurationError(
+                        f"record {record.record_id!r} already ingested"
+                    )
+                if self._breaker is not None and not self._breaker.allow():
+                    return self._shed(record)
+                position = self._store.append_record(record)
+                try:
+                    result = self._guarded_link(
+                        generation,
+                        record,
+                        position,
+                        deadline=self._effective_deadline(deadline),
+                    )
+                except Exception:
+                    if self._breaker is not None:
+                        self._breaker.record_failure()
+                    raise
+                if self._breaker is not None:
+                    if result.quarantined:
+                        self._breaker.record_failure()
+                    else:
+                        self._breaker.record_success()
+                if result.quarantined:
+                    return result
+                return IngestResult(
+                    record_id=result.record_id,
+                    position=position,
+                    entity_id=result.entity_id,
+                    comparisons=result.comparisons,
+                    matched_entities=result.matched_entities,
                 )
-            position = self._store.append_record(record)
-            result = self._guarded_link(generation, record, position)
-            if result.quarantined:
-                return result
-            return IngestResult(
-                record_id=result.record_id,
-                position=position,
-                entity_id=result.entity_id,
-                comparisons=result.comparisons,
-                matched_entities=result.matched_entities,
-            )
+        finally:
+            if self._gate is not None:
+                self._gate.release()
 
     def match(self, record: Record) -> str | None:
         """Which entity would ``record`` resolve to? (read-only)
@@ -556,7 +740,7 @@ class ResolutionService:
 
     # --- background refresh ------------------------------------------
 
-    def refresh(self) -> int:
+    def refresh(self, deadline: float | None = None) -> int:
         """Full batch re-resolution into a new generation; atomic swap.
 
         The expensive part — batch blocking/comparison/clustering over
@@ -567,22 +751,59 @@ class ResolutionService:
         swapped with a single reference assignment. Concurrent readers
         therefore always see either the old generation or the complete
         new one.
+
+        ``deadline`` (seconds, default from the overload policy)
+        propagates into the batch engine's per-chunk deadline checks —
+        a refresh that can't finish in budget aborts with
+        :class:`DeadlineExceededError` instead of monopolizing the
+        host. A failed refresh counts against the circuit breaker (and
+        into ``serve.refresh_failures`` / :meth:`health`); a successful
+        one records a breaker success, which is the automatic re-arm
+        path after degraded mode.
         """
         if self._refresh_blocker is None:
             raise ConfigurationError(
                 "refresh requires a refresh_blocker (the batch blocker "
                 "to re-resolve with)"
             )
+        try:
+            number = self._refresh(self._effective_deadline(deadline))
+        except Exception as error:  # noqa: BLE001 - health boundary
+            if self._breaker is not None:
+                self._breaker.record_failure()
+            self._tracer.counter("serve.refresh_failures").inc()
+            self._last_refresh_error = f"{type(error).__name__}: {error}"
+            raise
+        if self._breaker is not None:
+            self._breaker.record_success()
+        self._last_refresh_error = None
+        return number
+
+    def _refresh(self, deadline: float | None) -> int:
         with self._lock:
             watermark = self._store.log_length
             number = self._generation.number + 1
         base_records = list(self._store.records_from(0, watermark))
+        engine_resilience = None
+        if deadline is not None:
+            clock = None
+            if self._overload is not None:
+                clock = self._overload.clock
+            if clock is None and self._resilience is not None:
+                clock = self._resilience.clock
+            engine_resilience = ResilienceConfig(
+                retry=RetryPolicy(max_attempts=1, base_delay=0.0),
+                failure="fail",
+                deadline=deadline,
+                clock=clock,
+            )
         result = resolve(
             base_records,
             self._refresh_blocker,
             self._comparator,
             self._classifier,
             clustering="components",
+            resilience=engine_resilience,
         )
         fresh = _Generation(number, self._new_linker())
         for record in base_records:
@@ -610,13 +831,77 @@ class ResolutionService:
             self._tracer.counter("serve.refreshes").inc()
             return fresh.number
 
-    def refresh_async(self) -> threading.Thread:
-        """The background refresh hook: :meth:`refresh` on a thread."""
+    def refresh_async(self, deadline: float | None = None) -> threading.Thread:
+        """The background refresh hook: :meth:`refresh` on a thread.
+
+        A failing background refresh never kills the thread with an
+        unhandled traceback: the exception is already accounted for by
+        :meth:`refresh` (breaker failure, ``serve.refresh_failures``,
+        ``last_refresh_error`` in :meth:`health`) and then swallowed.
+        """
+
+        def target() -> None:
+            try:
+                self.refresh(deadline)
+            except Exception:  # noqa: BLE001, S110 - recorded in health()
+                pass
+
         thread = threading.Thread(
-            target=self.refresh, name="serve-refresh", daemon=True
+            target=target, name="serve-refresh", daemon=True
         )
         thread.start()
         return thread
+
+    # --- probes -------------------------------------------------------
+
+    def health(self) -> dict:
+        """The liveness/degradation probe (one consistent snapshot).
+
+        ``status`` is ``"degraded"`` exactly while the circuit breaker
+        is open — reads still serve (from the last published
+        generation) but writes are being shed. Without an overload
+        policy the breaker reads as permanently ``"closed"``.
+        """
+        with self._lock:
+            generation = self._generation
+            breaker_state = (
+                self._breaker.state if self._breaker is not None else "closed"
+            )
+            return {
+                "status": "degraded" if breaker_state == "open" else "ok",
+                "generation": generation.number,
+                "entities": len(generation.entities),
+                "log_length": self._store.log_length,
+                "breaker": breaker_state,
+                "pending_writes": (
+                    self._gate.depth if self._gate is not None else 0
+                ),
+                "dead_letters": len(self._dead_letters),
+                "last_refresh_error": self._last_refresh_error,
+            }
+
+    def readiness(self) -> dict:
+        """The routing probe: can this service take traffic?
+
+        ``ready`` covers reads (always true once constructed — the
+        generation is restored before the constructor returns);
+        ``writes_accepted`` is false while the breaker is open or the
+        admission gate is full, which is the signal a load balancer
+        uses to route writes elsewhere while still sending reads here.
+        """
+        with self._lock:
+            breaker_state = (
+                self._breaker.state if self._breaker is not None else "closed"
+            )
+            gate_full = (
+                self._gate is not None
+                and self._gate.depth >= self._gate.limit
+            )
+            return {
+                "ready": True,
+                "generation": self._generation.number,
+                "writes_accepted": breaker_state != "open" and not gate_full,
+            }
 
     def checkpoint(self) -> int:
         """Durably persist the *current* generation's projection as-is.

@@ -1,0 +1,111 @@
+"""Cross-process heartbeats stamped with monotonic sequence numbers.
+
+A worker that dies *between* heartbeat emissions looks exactly like a
+slow worker if liveness is judged by wall-clock gaps — clocks skew,
+schedulers stall, and a generous timeout turns every real death into a
+long outage while a tight one kills healthy-but-slow workers. The fix
+is to stop asking "when did you last beat?" and ask "have you beaten
+*since I last looked*?": every beat carries a monotonically increasing
+``(incarnation, seq)`` token, the supervisor remembers the token it
+saw on the previous poll, and an unchanged token across N polls *is*
+staleness — no wall clock consulted. The incarnation component (which
+restart of the worker this is) keeps the token monotonic across
+restarts, when the per-process ``seq`` counter resets to zero.
+
+The emitter travels inside
+:class:`~repro.resilience.policy.ResilienceConfig` (``heartbeat=``)
+into the worker, where the resilient executor beats it before every
+chunk attempt. Emission is a write-to-temp + atomic rename, so the
+supervisor never reads a torn beat; it is deliberately *not* fsynced —
+a heartbeat is advisory, and an fsync per attempt would put durability
+costs on the hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.errors import ConfigurationError
+
+__all__ = ["HeartbeatEmitter", "progress_token", "read_heartbeat"]
+
+
+class HeartbeatEmitter:
+    """Publishes ``(incarnation, seq)``-stamped beats to one file.
+
+    Picklable (plain path + counters), so it rides a
+    :class:`~repro.resilience.policy.ResilienceConfig` into a worker
+    process. The supervisor constructs a fresh emitter per (re)launch
+    with that launch's incarnation number; ``seq`` starts at zero in
+    every incarnation and increments per beat.
+    """
+
+    def __init__(self, path, incarnation: int = 1) -> None:
+        if not isinstance(incarnation, int) or incarnation < 1:
+            raise ConfigurationError(
+                f"incarnation must be an integer >= 1, got {incarnation!r}"
+            )
+        self._path = str(path)
+        self._incarnation = incarnation
+        self._seq = 0
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    @property
+    def incarnation(self) -> int:
+        return self._incarnation
+
+    @property
+    def seq(self) -> int:
+        """Beats emitted so far by this incarnation."""
+        return self._seq
+
+    def beat(self, chunk: int = -1, attempt: int = 0) -> None:
+        """Publish one beat (atomic replace; torn reads impossible)."""
+        self._seq += 1
+        payload = json.dumps(
+            {
+                "incarnation": self._incarnation,
+                "seq": self._seq,
+                "chunk": chunk,
+                "attempt": attempt,
+            },
+            sort_keys=True,
+        )
+        tmp = f"{self._path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp, self._path)
+
+
+def read_heartbeat(path) -> dict | None:
+    """The last published beat at ``path``, or ``None``.
+
+    Missing file (worker not started or no resilient executor on its
+    path) and unreadable content both read as "no beat yet" — the
+    supervisor then falls back to exit-code-only supervision.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+def progress_token(beat: dict | None) -> tuple[int, int]:
+    """The monotonic ordering key of one beat.
+
+    ``(incarnation, seq)`` tuples compare lexicographically: any new
+    beat from the same incarnation, or any beat from a newer
+    incarnation, strictly exceeds the previous token. ``(0, 0)`` is
+    "no beat observed", below every real beat.
+    """
+    if beat is None:
+        return (0, 0)
+    return (int(beat.get("incarnation", 0)), int(beat.get("seq", 0)))

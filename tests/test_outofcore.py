@@ -38,6 +38,7 @@ from repro.outofcore import (
     SpillSession,
     SpillableBlockIndex,
     SpillableClaimGroups,
+    pair_nbytes,
     stream_accuvote,
     stream_voting,
 )
@@ -778,6 +779,18 @@ class TestProperties:
         self, tmp_path_factory, records
     ):
         blocker = TokenBlocker(max_block_size=20, min_token_length=1)
+        # Each structure spills *itself* before exceeding the shared
+        # budget, but it cannot shrink its neighbours: when the limit
+        # is smaller than the neighbours' irreducible residency (the
+        # block index stays resident while its blocks stream into the
+        # pair deduper), the first item added to an empty buffer lands
+        # past the line. The true invariant is peak <= limit plus one
+        # item's estimate.
+        slack = max(
+            pair_nbytes(a.record_id, b.record_id)
+            for a in records
+            for b in records
+        )
         spills = []
         for limit in (1_200, 4_000, 20_000, 10_000_000):
             tmp_path = tmp_path_factory.mktemp("mono")
@@ -792,7 +805,7 @@ class TestProperties:
                 spill_dir=tmp_path,
             )
             gauges = tracer.report().metrics.get("gauges", {})
-            assert gauges["outofcore.peak_tracked_bytes"] <= limit
+            assert gauges["outofcore.peak_tracked_bytes"] <= limit + slack
             spills.append(gauges["outofcore.spill_count"])
         # Spill counts are NOT strictly monotone between neighbouring
         # budgets: the spillable structures share one budget, and a

@@ -31,9 +31,11 @@ from repro.linkage import (
     default_product_comparator,
 )
 from repro.linkage.blocking import first_token_key
-from repro.obs import Tracer
+from repro.linkage.blocking.base import Blocker
+from repro.obs import ManualClock, Tracer
 from repro.resilience.testing import FaultInjector, crash, kill
 from repro.resilience.testing import KILL_EXIT_CODE
+from repro.supervision import OverloadPolicy
 from repro.serve import (
     MISS,
     EntityStore,
@@ -537,3 +539,115 @@ class TestServeKillRestart:
         assert restarted["snapshot"]["entities"] == (
             reference["snapshot"]["entities"]
         )
+
+
+class _FlakyRefreshBlocker(Blocker):
+    """A batch blocker that fails its first ``failures`` calls."""
+
+    def __init__(self, failures: int) -> None:
+        self.failures = failures
+        self._inner = StandardBlocker(first_token_key("name"))
+
+    def block(self, records):
+        if self.failures > 0:
+            self.failures -= 1
+            raise RuntimeError("injected refresh failure")
+        return self._inner.block(records)
+
+
+class TestDegradedRefreshRace:
+    """Concurrent ingest + failing background refreshes.
+
+    The satellite contract: while the breaker is open because
+    ``refresh_async`` keeps failing, readers never observe a torn or
+    advanced generation, concurrent writes are shed into the
+    dead-letter log (not the durable record log), and one successful
+    refresh re-arms the whole service.
+    """
+
+    def test_readers_stay_consistent_while_breaker_open(self, tmp_path):
+        clock = ManualClock(start=0.0, tick=0.0)
+        blocker = _FlakyRefreshBlocker(failures=3)
+        tracer = Tracer()
+        service = ResolutionService(
+            tmp_path,
+            key_functions=[first_token_key("name")],
+            comparator=default_product_comparator(),
+            classifier=ThresholdClassifier(0.72),
+            refresh_blocker=blocker,
+            tracer=tracer,
+            durable=False,
+            overload=OverloadPolicy(
+                max_pending_writes=8,
+                failure_threshold=1,
+                reset_timeout=1e9,
+                shed="dead_letter",
+                clock=clock,
+            ),
+        )
+        for record in build_records(4):
+            assert not service.ingest(record).quarantined
+        baseline = service.snapshot()
+
+        stop = threading.Event()
+        torn: list = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                snap = service.snapshot()
+                if snap != baseline:
+                    torn.append(snap)
+                probe = service.health()
+                if probe["generation"] != baseline["generation"]:
+                    torn.append(probe)
+
+        readers = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        try:
+            # Three background refreshes fail; the first opens the
+            # breaker (threshold 1, effectively-infinite window).
+            for _ in range(3):
+                service.refresh_async().join()
+            assert service.health()["status"] == "degraded"
+            # Concurrent writes while degraded: all shed, none appended.
+            shed_results: list = []
+            writers = [
+                threading.Thread(
+                    target=lambda i=i: shed_results.append(
+                        service.ingest(
+                            Record(f"w{i}", "s9", {"name": f"flood {i}"})
+                        )
+                    ),
+                )
+                for i in range(6)
+            ]
+            for thread in writers:
+                thread.start()
+            for thread in writers:
+                thread.join()
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join()
+
+        assert torn == []
+        assert len(shed_results) == 6
+        assert all(result.shed for result in shed_results)
+        assert service.store.log_length == 4
+        assert len(service.dead_letters.by_kind("overload")) == 6
+        health = service.health()
+        assert health["status"] == "degraded"
+        assert health["last_refresh_error"].startswith("RuntimeError")
+        counters = tracer.report().metrics["counters"]
+        assert counters["serve.refresh_failures"] == 3
+
+        # Recovery: the dependency healed, and a successful refresh is
+        # the automatic re-arm path -- no breaker window wait needed.
+        assert service.refresh() == 1
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["breaker"] == "closed"
+        assert health["last_refresh_error"] is None
+        accepted = service.ingest(Record("w9", "s9", {"name": "flood 9"}))
+        assert not accepted.quarantined and accepted.entity_id
