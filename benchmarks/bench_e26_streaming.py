@@ -1,0 +1,382 @@
+"""E26 — continuous ingestion: throughput, staleness, drift tracking.
+
+The streaming runtime (`repro.streaming`) turns an unbounded record
+stream into a continuously maintained entity projection: event-time
+tumbling windows feed incremental linkage, and entities fuse under
+either static source accuracies or exponentially-decayed accuracy
+posteriors. This experiment measures the three things that matter for
+that loop:
+
+* **sustained throughput** — records/sec through windowed incremental
+  linkage + per-window re-fusion on a drift-free stream;
+* **staleness** — per-record ingest-to-visible lag (arrival at the
+  resolver to the close of the record's window), p50/p99;
+* **drift tracking** — the headline: on a stream whose strongest
+  source flips from accuracy 0.9 to 0.2 mid-run, the decayed
+  posteriors re-converge within a few windows while the undecayed
+  lifetime average stays anchored to stale history. Reported as
+  per-window accuracy-estimate RMSE curves against the planted
+  schedule, with the acceptance bar that the decayed final-window
+  error is **less than half** the undecayed baseline's.
+
+``BENCH_streaming.json`` at the repo root records the numbers plus
+gate budgets (a throughput floor, a staleness p99 budget, and the
+decay-tracking ratio) that ``benchmarks/check_streaming_throughput.py``
+re-measures against in CI.
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_e26_streaming.py --no-bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_common import emit, render_table
+
+from repro.linkage import ThresholdClassifier, default_product_comparator
+from repro.linkage.blocking import first_token_key
+from repro.quality import estimation_rmse
+from repro.serve import percentile
+from repro.streaming import (
+    CONFLICT_ATTRIBUTES,
+    DriftStreamConfig,
+    DriftWorld,
+    StreamingResolver,
+    WindowConfig,
+    projection_accuracy,
+)
+
+THRESHOLD = 0.72
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+#: Gate budgets: generous multiples of the measured values, floored so
+#: machine variance cannot trip them; regressions of interest are
+#: order-of-magnitude (an accidental re-fusion of every entity per
+#: record, a full re-link per window).
+THROUGHPUT_FLOOR_DIVISOR = 10.0
+THROUGHPUT_FLOOR_MIN = 50.0
+STALENESS_BUDGET_MULTIPLIER = 10.0
+STALENESS_BUDGET_FLOOR_S = 1.0
+#: The acceptance bar for drift tracking (a ratio, machine-independent).
+DECAY_RATIO_BAR = 0.5
+
+WINDOW = WindowConfig(size=2.0)
+
+
+def _resolver(
+    accuracies, decay=None, max_candidates=1000, prior_strength=8.0
+) -> StreamingResolver:
+    return StreamingResolver(
+        key_functions=[first_token_key("name")],
+        comparator=default_product_comparator(),
+        classifier=ThresholdClassifier(THRESHOLD),
+        source_accuracies=accuracies,
+        window=WINDOW,
+        decay=decay,
+        prior_strength=prior_strength,
+        tracked_attributes=CONFLICT_ATTRIBUTES,
+        max_candidates_per_record=max_candidates,
+    )
+
+
+def _throughput_phase(quick: bool) -> dict:
+    """Drift-free sustained ingestion: records/sec and staleness lags."""
+    config = DriftStreamConfig(
+        n_entities=10 if quick else 25,
+        n_sources=4 if quick else 6,
+        seed=7,
+    )
+    n_windows = 8 if quick else 20
+    world = DriftWorld(config)
+    # A continuous stream re-observes the same entities forever, so
+    # uncapped blocking would grow per-record comparisons without
+    # bound; the candidate cap is what makes the throughput *sustained*
+    # rather than a function of how long the stream has been running.
+    resolver = _resolver(world.accuracies_at(0.0), max_candidates=64)
+
+    lags: list[float] = []
+    start = time.perf_counter()
+    results = resolver.run(world.stream(), max_windows=n_windows)
+    seconds = time.perf_counter() - start
+    for result in results:
+        lags.extend(result.lags)
+
+    records = sum(result.n_records for result in results)
+    return {
+        "windows": len(results),
+        "records": records,
+        "entities": resolver.n_entities,
+        "seconds": round(seconds, 4),
+        "records_per_sec": round(records / seconds, 1) if seconds else 0.0,
+        "staleness_p50_s": round(percentile(lags, 50.0), 5),
+        "staleness_p99_s": round(percentile(lags, 99.0), 5),
+        "comparisons": sum(result.comparisons for result in results),
+    }
+
+
+def _drift_phase(quick: bool) -> dict:
+    """The accuracy flip: decayed vs undecayed estimate-RMSE curves."""
+    flip_at = 20.0 if quick else 40.0
+    n_windows = 16 if quick else 30
+    config = DriftStreamConfig(
+        n_entities=10,
+        n_sources=5,
+        flip_at=flip_at,
+        flip_source=0,
+        flip_to=0.2,
+        seed=11,
+    )
+    world = DriftWorld(config)
+    flip_window = int(flip_at // WINDOW.size)
+
+    curves: dict[str, list[float]] = {}
+    finals: dict[str, dict] = {}
+    for label, decay in (("decayed", 0.7), ("undecayed", 1.0)):
+        # A weak prior: a drift-tracking deployment should let recent
+        # evidence dominate quickly; the undecayed baseline's staleness
+        # comes from its lifetime counts, not from the prior.
+        resolver = _resolver(
+            world.accuracies_at(0.0), decay=decay, prior_strength=4.0
+        )
+        curve: list[float] = []
+        results = resolver.run(
+            itertools.islice(world.stream(), 1_000_000),
+            max_windows=n_windows,
+        )
+        for result in results:
+            planted = world.accuracies_at(result.end - 1.0)
+            curve.append(
+                round(estimation_rmse(dict(result.accuracies), planted), 4)
+            )
+        curves[label] = curve
+        planted_final = world.accuracies_at(results[-1].end - 1.0)
+        finals[label] = {
+            "decay": decay,
+            "final_rmse": curve[-1],
+            "flipped_source_estimate": round(
+                resolver.estimates()["src00"], 4
+            ),
+            "monitor_events": [
+                event.to_json() for event in resolver.events
+            ],
+            "projection_accuracy": round(
+                projection_accuracy(
+                    world,
+                    resolver.snapshot()["entities"],
+                    results[-1].end - 1.0,
+                ),
+                4,
+            ),
+        }
+        finals[label]["planted_flipped_accuracy"] = planted_final["src00"]
+
+    ratio = (
+        finals["decayed"]["final_rmse"] / finals["undecayed"]["final_rmse"]
+        if finals["undecayed"]["final_rmse"]
+        else 0.0
+    )
+    return {
+        "flip_window": flip_window,
+        "windows": n_windows,
+        "rmse_curves": curves,
+        **{label: finals[label] for label in finals},
+        "decay_rmse_ratio": round(ratio, 4),
+    }
+
+
+def _sanity(results) -> None:
+    drift = results["drift"]
+    if drift["decay_rmse_ratio"] >= DECAY_RATIO_BAR:
+        raise SystemExit(
+            "drift tracking failed: decayed final RMSE "
+            f"{drift['decayed']['final_rmse']} is not under "
+            f"{DECAY_RATIO_BAR} x undecayed "
+            f"{drift['undecayed']['final_rmse']}"
+        )
+    if not any(
+        event["subject"] == "src00"
+        for event in drift["decayed"]["monitor_events"]
+    ):
+        raise SystemExit(
+            "the accuracy-shift monitor never flagged the flipped source"
+        )
+    if results["throughput"]["records"] <= 0:
+        raise SystemExit("throughput phase consumed no records")
+
+
+def _budgets(results) -> dict:
+    throughput = results["throughput"]
+    return {
+        "throughput_floor_records_per_sec": round(
+            max(
+                throughput["records_per_sec"] / THROUGHPUT_FLOOR_DIVISOR,
+                THROUGHPUT_FLOOR_MIN,
+            ),
+            1,
+        ),
+        "staleness_p99_budget_s": round(
+            max(
+                STALENESS_BUDGET_MULTIPLIER * throughput["staleness_p99_s"],
+                STALENESS_BUDGET_FLOOR_S,
+            ),
+            3,
+        ),
+        "decay_rmse_ratio_bar": DECAY_RATIO_BAR,
+    }
+
+
+def _write_json(results, path=RESULT_PATH):
+    payload = {
+        "experiment": "E26 continuous ingestion under drift",
+        "threshold": THRESHOLD,
+        "window_size": WINDOW.size,
+        "unix_time": round(time.time(), 1),
+        **_budgets(results),
+        **results,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+HEADERS = ["phase", "windows", "records", "metric", "value"]
+
+
+def _rows(results):
+    throughput, drift = results["throughput"], results["drift"]
+    return [
+        [
+            "sustained ingest",
+            throughput["windows"],
+            throughput["records"],
+            "records/sec",
+            throughput["records_per_sec"],
+        ],
+        [
+            "staleness",
+            throughput["windows"],
+            throughput["records"],
+            "p50 / p99 s",
+            f"{throughput['staleness_p50_s']} / "
+            f"{throughput['staleness_p99_s']}",
+        ],
+        [
+            "flip (decay=0.7)",
+            drift["windows"],
+            "-",
+            "final est RMSE",
+            drift["decayed"]["final_rmse"],
+        ],
+        [
+            "flip (decay=1.0)",
+            drift["windows"],
+            "-",
+            "final est RMSE",
+            drift["undecayed"]["final_rmse"],
+        ],
+        [
+            "tracking ratio",
+            "-",
+            "-",
+            "decayed/undecayed",
+            drift["decay_rmse_ratio"],
+        ],
+    ]
+
+
+NOTE = (
+    "Expected shape: decayed final RMSE under half the undecayed "
+    "baseline's (the undecayed lifetime average stays anchored to "
+    "pre-flip history); the flipped source's decayed estimate near the "
+    "planted 0.2; at least one accuracy-shift monitor event for src00."
+)
+
+
+def _run_all(quick: bool) -> dict:
+    return {
+        "throughput": _throughput_phase(quick),
+        "drift": _drift_phase(quick),
+    }
+
+
+def bench_e26_streaming(benchmark, capsys):
+    results = _run_all(quick=False)
+    _sanity(results)
+
+    # The benchmark kernel: windowed ingestion of a fixed drift-free
+    # record batch through a fresh resolver.
+    world = DriftWorld(DriftStreamConfig(n_entities=10, n_sources=4, seed=7))
+    records = world.take(600)
+    accuracies = world.accuracies_at(0.0)
+
+    def kernel():
+        resolver = _resolver(accuracies)
+        return len(resolver.run(records))
+
+    benchmark(kernel)
+
+    _write_json(results)
+    emit(
+        capsys,
+        "E26: continuous ingestion — throughput, staleness, drift "
+        "tracking",
+        HEADERS,
+        _rows(results),
+        note=NOTE,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--no-bench",
+        action="store_true",
+        help="table-only mode (this entry point never runs the "
+        "pytest-benchmark kernel anyway)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small stream smoke run; does not overwrite "
+        "BENCH_streaming.json",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="where to write machine-readable results "
+        "(default: BENCH_streaming.json at the repo root; "
+        "--quick writes nowhere unless --json is given)",
+    )
+    args = parser.parse_args(argv)
+
+    results = _run_all(quick=args.quick)
+    _sanity(results)
+
+    path = args.json
+    if path is None and not args.quick:
+        path = RESULT_PATH
+    if path is not None:
+        _write_json(results, path)
+        print(f"results -> {path}")
+
+    print(
+        render_table(
+            HEADERS,
+            _rows(results),
+            title="E26: continuous ingestion — throughput, staleness, "
+            f"drift tracking ({'quick' if args.quick else 'full'})",
+        )
+    )
+    print(NOTE)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Gate: streaming ingestion stays fast, fresh, and drift-aware.
+
+``BENCH_streaming.json`` (written by ``bench_e26_streaming.py``)
+records a throughput floor, a staleness p99 budget, and the
+decay-tracking ratio bar. This gate re-runs the streaming workload
+(quick-sized by default) and fails the build when:
+
+1. sustained records/sec drops below the recorded floor — windowed
+   ingestion picked up qualitative cost (a full re-link per window, an
+   uncapped candidate scan, re-fusing every entity per record);
+2. the staleness p99 (ingest-to-visible lag) exceeds the recorded
+   budget — window closes stopped keeping up with arrivals;
+3. the decayed fusion's final accuracy-estimate RMSE is no longer
+   under ``decay_rmse_ratio_bar`` times the undecayed baseline's —
+   the headline drift-tracking property regressed;
+4. the accuracy-shift monitor never flags the flipped source.
+
+Run:  PYTHONPATH=src python benchmarks/check_streaming_throughput.py [--full]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from bench_e26_streaming import _run_all, _sanity
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="full-size stream (default is the CI quick size)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help="BENCH_streaming.json to read the budgets from",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        raise SystemExit(
+            f"no baseline at {args.baseline}; run "
+            "benchmarks/bench_e26_streaming.py first"
+        )
+    baseline = json.loads(args.baseline.read_text())
+    floor = baseline["throughput_floor_records_per_sec"]
+    staleness_budget = baseline["staleness_p99_budget_s"]
+    ratio_bar = baseline["decay_rmse_ratio_bar"]
+
+    results = _run_all(quick=not args.full)
+    _sanity(results)  # enforces the ratio bar and the monitor event
+
+    throughput = results["throughput"]
+    drift = results["drift"]
+    print(
+        f"throughput {throughput['records_per_sec']:.1f} rec/s vs floor "
+        f"{floor:.1f}; staleness p99 {throughput['staleness_p99_s']:.3f} s "
+        f"vs budget {staleness_budget:.3f} s; decay tracking ratio "
+        f"{drift['decay_rmse_ratio']:.3f} vs bar {ratio_bar} "
+        f"(decayed {drift['decayed']['final_rmse']}, undecayed "
+        f"{drift['undecayed']['final_rmse']})"
+    )
+    if throughput["records_per_sec"] < floor:
+        raise SystemExit(
+            f"streaming throughput regression: "
+            f"{throughput['records_per_sec']:.1f} rec/s is below the "
+            f"recorded floor {floor:.1f}"
+        )
+    if throughput["staleness_p99_s"] > staleness_budget:
+        raise SystemExit(
+            f"streaming staleness regression: p99 "
+            f"{throughput['staleness_p99_s']:.3f} s exceeds the recorded "
+            f"budget {staleness_budget:.3f} s"
+        )
+    print("streaming throughput gate: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,7 +5,12 @@ from repro.fusion.accucopy import AccuCopy
 from repro.fusion.base import Claim, ClaimSet, Fuser, FusionResult
 from repro.fusion.copydetect import CopyDetector
 from repro.fusion.numeric import CRHNumericFuser, parse_numeric_claims
-from repro.fusion.online import OnlineFusion, OnlineTrace
+from repro.fusion.online import (
+    OnlineFusion,
+    OnlineTrace,
+    claim_posterior,
+    vote_count,
+)
 from repro.fusion.truthfinder import TruthFinder
 from repro.fusion.voting import VotingFuser
 
@@ -20,7 +25,9 @@ __all__ = [
     "FusionResult",
     "OnlineFusion",
     "OnlineTrace",
+    "claim_posterior",
     "parse_numeric_claims",
     "TruthFinder",
     "VotingFuser",
+    "vote_count",
 ]

@@ -21,10 +21,42 @@ from typing import Mapping
 from repro.core.errors import ConfigurationError
 from repro.fusion.base import ClaimSet, FusionResult
 
-__all__ = ["OnlineFusion", "OnlineTrace"]
+__all__ = ["OnlineFusion", "OnlineTrace", "claim_posterior", "vote_count"]
 
 _ACCURACY_FLOOR = 0.01
 _ACCURACY_CEIL = 0.99
+
+
+def vote_count(accuracy: float, n_false_values: int) -> float:
+    """The Bayesian vote weight of one claim by a source.
+
+    The uniform-false-value model of Dong et al.: a source with
+    accuracy ``a`` choosing among ``n`` wrong values contributes
+    ``ln(n * a / (1 - a))`` to its claimed value's log-score. Accuracy
+    is clamped away from 0 and 1 so weights stay finite. Shared by
+    :class:`OnlineFusion` and the streaming decayed-fusion layer so
+    the two agree bit-for-bit on undrifted inputs.
+    """
+    accuracy = min(_ACCURACY_CEIL, max(_ACCURACY_FLOOR, accuracy))
+    return math.log(n_false_values * accuracy / (1.0 - accuracy))
+
+
+def claim_posterior(
+    scores: Mapping[str, float], value: str, n_false_values: int
+) -> float:
+    """P(``value`` | vote counts) under the uniform-false-value model.
+
+    The ``n + 1`` possible values all start at vote count 0; values
+    nobody claimed yet keep that count, so early posteriors stay
+    honest instead of jumping to 1.0 after one probe.
+    """
+    if not scores:
+        return 0.0
+    peak = max(0.0, max(scores.values()))
+    exps = {v: math.exp(s - peak) for v, s in scores.items()}
+    unclaimed = max(0, n_false_values + 1 - len(scores))
+    total = sum(exps.values()) + unclaimed * math.exp(-peak)
+    return exps.get(value, 0.0) / total if total else 0.0
 
 
 @dataclass(frozen=True)
@@ -71,11 +103,7 @@ class OnlineFusion:
         self._stop_posterior = stop_posterior
 
     def _vote_count(self, source: str) -> float:
-        accuracy = min(
-            _ACCURACY_CEIL,
-            max(_ACCURACY_FLOOR, self._accuracy.get(source, 0.5)),
-        )
-        return math.log(self._n * accuracy / (1.0 - accuracy))
+        return vote_count(self._accuracy.get(source, 0.5), self._n)
 
     def probe_order(self, claims: ClaimSet) -> list[str]:
         """Sources in descending estimated accuracy (ties by name)."""
@@ -180,16 +208,5 @@ class OnlineFusion:
         return result, trace
 
     def _posterior(self, scores: Mapping[str, float], value: str) -> float:
-        """P(value | probes so far) under the uniform-false-value model.
-
-        The ``n + 1`` possible values all start at vote count 0;
-        values nobody claimed yet keep that count, so early posteriors
-        stay honest instead of jumping to 1.0 after one probe.
-        """
-        if not scores:
-            return 0.0
-        peak = max(0.0, max(scores.values()))
-        exps = {v: math.exp(s - peak) for v, s in scores.items()}
-        unclaimed = max(0, self._n + 1 - len(scores))
-        total = sum(exps.values()) + unclaimed * math.exp(-peak)
-        return exps.get(value, 0.0) / total if total else 0.0
+        """P(value | probes so far); see :func:`claim_posterior`."""
+        return claim_posterior(scores, value, self._n)

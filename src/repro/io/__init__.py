@@ -3,12 +3,14 @@
 from repro.io.claims_csv import load_claims, load_truth, save_claims, save_truth
 from repro.io.jsonl import load_dataset, save_dataset
 from repro.io.stream import (
+    GeneratorRecordStream,
     JsonlRecordStream,
     RecordStream,
     open_record_stream,
 )
 
 __all__ = [
+    "GeneratorRecordStream",
     "JsonlRecordStream",
     "RecordStream",
     "load_claims",

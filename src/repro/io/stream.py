@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator, Protocol, runtime_checkable
+from typing import Callable, Iterator, Protocol, runtime_checkable
 
 from repro.core.errors import DataModelError
 from repro.core.record import Record
 
 __all__ = [
+    "GeneratorRecordStream",
     "JsonlRecordStream",
     "RecordStream",
     "open_record_stream",
@@ -93,6 +94,38 @@ class JsonlRecordStream:
 
     def __repr__(self) -> str:
         return f"JsonlRecordStream({str(self._path)!r})"
+
+
+class GeneratorRecordStream:
+    """A re-iterable :class:`RecordStream` over a generator factory.
+
+    Wraps a zero-argument callable returning a fresh record iterator —
+    the shape of the unbounded synthetic generators
+    (:func:`repro.synth.stream_temporal_records`,
+    ``DriftWorld.stream()``) — so generator-backed sources satisfy the
+    re-iterable stream protocol: every ``__iter__`` calls the factory
+    again and replays the stream from the start. That replayability is
+    what lets a streaming consumer resume from a checkpoint by
+    fast-forwarding a fresh pass, with no durable copy of the stream.
+
+    The stream may be unbounded; consumers are expected to stop on
+    their own terms (a record budget, a watermark, a wall clock).
+    """
+
+    def __init__(self, factory: Callable[[], Iterator[Record]]) -> None:
+        if not callable(factory):
+            raise DataModelError(
+                "GeneratorRecordStream needs a zero-argument callable "
+                "returning a record iterator"
+            )
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._factory())
+
+    def __repr__(self) -> str:
+        name = getattr(self._factory, "__name__", repr(self._factory))
+        return f"GeneratorRecordStream({name})"
 
 
 def open_record_stream(stem: str | Path) -> JsonlRecordStream:

@@ -23,8 +23,10 @@ so instrumentation is strictly opt-in::
 from repro.obs.clock import Clock, ManualClock, SystemClock
 from repro.obs.instruments import (
     BLOCK_SIZE_BUCKETS,
+    STREAM_LAG_BUCKETS,
     observe_block_collection,
     observe_candidate_pruning,
+    observe_stream_window,
     observe_supervisor,
     observe_text_caches,
 )
@@ -52,11 +54,13 @@ __all__ = [
     "NullTracer",
     "RunReport",
     "SCORE_BUCKETS",
+    "STREAM_LAG_BUCKETS",
     "Span",
     "SystemClock",
     "Tracer",
     "observe_block_collection",
     "observe_candidate_pruning",
+    "observe_stream_window",
     "observe_supervisor",
     "observe_text_caches",
 ]

@@ -11,8 +11,10 @@ from __future__ import annotations
 
 __all__ = [
     "BLOCK_SIZE_BUCKETS",
+    "STREAM_LAG_BUCKETS",
     "observe_block_collection",
     "observe_candidate_pruning",
+    "observe_stream_window",
     "observe_supervisor",
     "observe_text_caches",
 ]
@@ -38,6 +40,34 @@ def observe_block_collection(tracer, blocks, prefix: str = "blocking") -> None:
         f"{prefix}.block_size", BLOCK_SIZE_BUCKETS
     )
     histogram.observe_many(float(len(block)) for block in blocks)
+
+
+#: Ingest-to-visible latency buckets (seconds), log-spaced from "sub-ms
+#: in-memory window" out to "seconds behind" — the staleness alert range.
+STREAM_LAG_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0,
+)
+
+
+def observe_stream_window(tracer, result, prefix: str = "streaming") -> None:
+    """Record one closed streaming window into the tracer's metrics.
+
+    ``result`` is a :class:`repro.streaming.runtime.WindowResult` (duck
+    typed — anything with the same counters works). Emits the
+    per-window cost counters, the watermark/match-rate gauges the
+    drift dashboards plot, and the ingest-to-visible lag histogram
+    (``{prefix}.lag``) whose p99 the streaming benchmark gates.
+    """
+    tracer.counter(f"{prefix}.windows_closed").inc()
+    tracer.counter(f"{prefix}.window_records").inc(result.n_records)
+    tracer.counter(f"{prefix}.comparisons").inc(result.comparisons)
+    tracer.counter(f"{prefix}.matches").inc(result.matches)
+    tracer.gauge(f"{prefix}.watermark").set(result.watermark)
+    tracer.gauge(f"{prefix}.entities_touched").set(
+        float(result.entities_touched)
+    )
+    histogram = tracer.histogram(f"{prefix}.lag", STREAM_LAG_BUCKETS)
+    histogram.observe_many(result.lags)
 
 
 def observe_candidate_pruning(

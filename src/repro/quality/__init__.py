@@ -15,6 +15,7 @@ from repro.quality.fusion import (
     CopyDetectionQuality,
     accuracy_estimation_error,
     copy_detection_quality,
+    estimation_rmse,
     fusion_accuracy,
 )
 from repro.quality.matching import PairQuality, as_pair_set, pair_quality
@@ -40,6 +41,7 @@ __all__ = [
     "clusters_to_pairs",
     "copy_detection_quality",
     "correspondence_quality",
+    "estimation_rmse",
     "format_cell",
     "fusion_accuracy",
     "pair_quality",

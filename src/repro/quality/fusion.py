@@ -11,6 +11,7 @@ from repro.fusion.base import FusionResult
 __all__ = [
     "fusion_accuracy",
     "accuracy_estimation_error",
+    "estimation_rmse",
     "CopyDetectionQuality",
     "copy_detection_quality",
 ]
@@ -21,24 +22,32 @@ def fusion_accuracy(result: FusionResult, truth: Mapping[str, str]) -> float:
     return result.accuracy_against(truth)
 
 
-def accuracy_estimation_error(
-    result: FusionResult, planted: Mapping[str, float]
+def estimation_rmse(
+    estimates: Mapping[str, float], planted: Mapping[str, float]
 ) -> float:
-    """RMSE between estimated and planted source accuracies.
+    """RMSE between estimated and planted per-source accuracies.
 
     Only sources with both an estimate and a planted accuracy count;
-    returns ``nan`` when there is no overlap (e.g. plain voting).
+    returns ``nan`` when there is no overlap. Works on any estimate
+    mapping — a batch :class:`FusionResult`'s ``source_accuracy``, a
+    streaming tracker's :meth:`~repro.streaming.DecayedAccuracyTracker.
+    estimates` — which is what the drift benchmark's accuracy-vs-drift
+    curves are scored with.
     """
-    shared = [
-        source for source in planted if source in result.source_accuracy
-    ]
+    shared = [source for source in planted if source in estimates]
     if not shared:
         return math.nan
     squared = sum(
-        (result.source_accuracy[source] - planted[source]) ** 2
-        for source in shared
+        (estimates[source] - planted[source]) ** 2 for source in shared
     )
     return math.sqrt(squared / len(shared))
+
+
+def accuracy_estimation_error(
+    result: FusionResult, planted: Mapping[str, float]
+) -> float:
+    """RMSE between a fusion result's estimates and planted accuracies."""
+    return estimation_rmse(result.source_accuracy, planted)
 
 
 @dataclass(frozen=True)

@@ -738,6 +738,33 @@ class ResolutionService:
             for entity_id, entity in sorted(generation.entities.items())
         }
 
+    def set_source_accuracies(
+        self, accuracies: Mapping[str, float]
+    ) -> None:
+        """Swap the per-source fusion accuracies and re-fuse in place.
+
+        The drift-response hook: a streaming monitor that concludes a
+        source's quality has shifted pushes the new estimates here, and
+        every entity is re-fused under them within the *current*
+        generation (membership is untouched — only fused values,
+        confidence, and provenance move). The generation's mutation
+        stamp is bumped, so read caches invalidate by construction.
+        Follow with :meth:`refresh` when linkage itself is suspect.
+        """
+        for source, accuracy in accuracies.items():
+            if not 0.0 < accuracy < 1.0:
+                raise ConfigurationError(
+                    f"accuracy for {source!r} must be in (0, 1)"
+                )
+        with self._lock:
+            self._source_accuracies = dict(accuracies)
+            generation = self._generation
+            for entity_id in list(generation.entities):
+                members = generation.entities[entity_id]["members"]
+                self._set_entity(generation, members)
+            generation.mutations += 1
+            self._tracer.counter("serve.accuracy_updates").inc()
+
     # --- background refresh ------------------------------------------
 
     def refresh(self, deadline: float | None = None) -> int:

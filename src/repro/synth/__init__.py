@@ -15,6 +15,9 @@ from repro.synth.evolution import (
     TemporalStreamConfig,
     evolve_world,
     generate_temporal_dataset,
+    stream_temporal_observations,
+    stream_temporal_records,
+    stream_world_snapshots,
 )
 from repro.synth.sources import CorpusConfig, SourceProfile, generate_dataset
 from repro.synth.vocab import (
@@ -53,4 +56,7 @@ __all__ = [
     "generate_temporal_dataset",
     "generate_world",
     "scaled",
+    "stream_temporal_observations",
+    "stream_temporal_records",
+    "stream_world_snapshots",
 ]

@@ -1,20 +1,32 @@
 """Temporal evolution: evolving worlds and time-stamped record streams.
 
-Two consumers need time in the corpus:
+Three consumers need time in the corpus:
 
 * **Temporal record linkage** (E7) needs streams of observations of
   entities whose discriminative attributes *change over time* — the
   setting where decay-based matching beats static matching.
 * **Velocity maintenance** (E14) needs successive *snapshots* of a
   product world where entities appear, disappear, and change values.
+* **Continuous ingestion** (E26) needs the *unbounded* versions of
+  both: generator-based streams that never materialize a corpus, so a
+  streaming pipeline can run for as long as the experiment demands.
 
-Both are generated here, deterministically from a seed.
+All are generated here, deterministically from a seed. The bounded
+outputs are exact prefixes of the unbounded generators: consuming the
+first ``n_epochs`` worth of :func:`stream_temporal_observations` (or
+the first ``n_snapshots`` of :func:`stream_world_snapshots`) yields
+byte-for-byte the records/snapshots of :func:`generate_temporal_dataset`
+(resp. :func:`evolve_world`) for the same config — which is how the
+bounded functions are implemented, and what the streaming differential
+tests pin.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
+from typing import Iterator
 
 from repro.core.dataset import Dataset
 from repro.core.errors import ConfigurationError
@@ -26,8 +38,11 @@ from repro.synth.world import Entity, World
 __all__ = [
     "EvolvingWorldConfig",
     "evolve_world",
+    "stream_world_snapshots",
     "TemporalStreamConfig",
     "generate_temporal_dataset",
+    "stream_temporal_observations",
+    "stream_temporal_records",
 ]
 
 
@@ -64,14 +79,37 @@ def evolve_world(
 
     Snapshot 0 is the input world itself. Entity ids are stable across
     snapshots (the same id denotes the same entity); fresh replacement
-    entities get ids suffixed with the snapshot index.
+    entities get ids suffixed with the snapshot index. The returned
+    list is exactly the first ``n_snapshots`` elements of
+    :func:`stream_world_snapshots` for the same config.
+    """
+    config = config or EvolvingWorldConfig()
+    return list(
+        itertools.islice(
+            stream_world_snapshots(world, config), config.n_snapshots
+        )
+    )
+
+
+def stream_world_snapshots(
+    world: World, config: EvolvingWorldConfig | None = None
+) -> Iterator[World]:
+    """Unbounded world evolution: snapshots forever, one per step.
+
+    The generator-based counterpart of :func:`evolve_world` —
+    ``n_snapshots`` is ignored, every other knob applies per step. The
+    RNG is private to each returned iterator and seeded from
+    ``config.seed``, so every fresh iterator replays the identical
+    snapshot sequence (the restartability the streaming checkpoint
+    resume leans on), and the bounded function's output is a prefix of
+    this stream by construction.
     """
     config = config or EvolvingWorldConfig()
     rng = random.Random(config.seed)
-    snapshots = [world]
+    yield world
     current = list(world.entities)
     next_fresh = 0
-    for step in range(1, config.n_snapshots):
+    for step in itertools.count(1):
         evolved: list[Entity] = []
         for entity in current:
             if rng.random() < config.death_rate:
@@ -113,9 +151,8 @@ def evolve_world(
                     popularity=entity.popularity,
                 )
             )
-        snapshots.append(world.with_entities(evolved))
+        yield world.with_entities(evolved)
         current = evolved
-    return snapshots
 
 
 @dataclass(frozen=True)
@@ -177,15 +214,19 @@ _CITIES = (
 )
 
 
-def generate_temporal_dataset(
+def stream_temporal_observations(
     config: TemporalStreamConfig | None = None,
-) -> Dataset:
-    """Generate the evolving-entity record stream for temporal linkage.
+) -> Iterator[tuple[Record, str]]:
+    """Unbounded evolving-entity observations: ``(record, entity_id)``.
 
-    Entities model researchers: a stable ``name`` (sometimes shared
-    with a namesake), and mutable ``affiliation``, ``city``, and
-    ``topic`` attributes that evolve between epochs. Records carry a
-    ``timestamp`` equal to their epoch index.
+    The generator-based counterpart of
+    :func:`generate_temporal_dataset` — ``n_epochs`` is ignored and
+    epochs run forever; every other knob applies per epoch. Each fresh
+    iterator owns a private RNG seeded from ``config.seed``, so the
+    stream replays identically (restartable), and the bounded dataset
+    is an exact prefix: its records are the first
+    ``n_epochs * n_entities * observations_per_epoch`` yields for the
+    same config.
     """
     config = config or TemporalStreamConfig()
     rng = random.Random(config.seed)
@@ -210,10 +251,8 @@ def generate_temporal_dataset(
         for i in range(config.n_entities)
     }
 
-    source = Source("stream.example.org")
-    record_to_entity: dict[str, str] = {}
     counter = 0
-    for epoch in range(config.n_epochs):
+    for epoch in itertools.count():
         if epoch > 0:
             for values in state.values():
                 for attribute in ("affiliation", "city", "topic"):
@@ -236,9 +275,44 @@ def generate_temporal_dataset(
                     attributes=attributes,
                     timestamp=float(epoch),
                 )
-                source.add(record)
-                record_to_entity[record.record_id] = entity_id
+                yield record, entity_id
                 counter += 1
+
+
+def stream_temporal_records(
+    config: TemporalStreamConfig | None = None,
+) -> Iterator[Record]:
+    """The records of :func:`stream_temporal_observations`, unbounded."""
+    return (
+        record for record, _ in stream_temporal_observations(config)
+    )
+
+
+def generate_temporal_dataset(
+    config: TemporalStreamConfig | None = None,
+) -> Dataset:
+    """Generate the evolving-entity record stream for temporal linkage.
+
+    Entities model researchers: a stable ``name`` (sometimes shared
+    with a namesake), and mutable ``affiliation``, ``city``, and
+    ``topic`` attributes that evolve between epochs. Records carry a
+    ``timestamp`` equal to their epoch index.
+
+    Implemented as the first ``n_epochs`` epochs of the unbounded
+    :func:`stream_temporal_observations`, so the bounded dataset is an
+    exact prefix of the stream by construction.
+    """
+    config = config or TemporalStreamConfig()
+    n_records = (
+        config.n_epochs * config.n_entities * config.observations_per_epoch
+    )
+    source = Source("stream.example.org")
+    record_to_entity: dict[str, str] = {}
+    for record, entity_id in itertools.islice(
+        stream_temporal_observations(config), n_records
+    ):
+        source.add(record)
+        record_to_entity[record.record_id] = entity_id
 
     truth = GroundTruth(record_to_entity)
     return Dataset([source], truth, name="temporal-stream")

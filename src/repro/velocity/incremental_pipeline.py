@@ -11,8 +11,9 @@ recomputation.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.dataset import Dataset
 from repro.linkage.blocking.base import Blocker, KeyFunction
@@ -96,6 +97,23 @@ class SnapshotMaintainer:
         self._previous = dataset
         self._snapshot_index += 1
         return cost
+
+    def process_stream(
+        self,
+        snapshots: Iterable[Dataset],
+        max_snapshots: int | None = None,
+    ) -> Iterator[SnapshotCost]:
+        """Fold snapshots as they arrive; yield each snapshot's cost.
+
+        Pull-driven, so an *unbounded* snapshot iterator (e.g.
+        :func:`repro.synth.stream_world_snapshots` rendered to
+        datasets) works: stop iterating to stop consuming, or bound
+        the run with ``max_snapshots``.
+        """
+        if max_snapshots is not None:
+            snapshots = itertools.islice(snapshots, max_snapshots)
+        for dataset in snapshots:
+            yield self.process_snapshot(dataset)
 
     def clusters(self) -> list[list[str]]:
         """Clusters over currently indexed (alive) records."""

@@ -1,0 +1,111 @@
+"""Sacrificial subprocess for the streaming kill/restart test.
+
+The continuous-ingestion recovery contract: a streaming consumer
+killed mid-stream (``kill -9``; here ``os._exit(137)``) and restarted
+against the *same deterministic stream* resumes from its last window
+checkpoint and converges byte-identically to a consumer that never
+died — same entities, same accuracy estimates, same monitor event log.
+
+Invocations
+-----------
+
+``streaming_driver.py ROOT --windows N [--kill-after-record J]``
+    Resume from any checkpoint under ROOT (a fresh store resumes to
+    nothing), then consume the seeded drift stream until N windows
+    have closed. With ``--kill-after-record J`` the process calls
+    ``os._exit(137)`` as soon as J records have been consumed
+    (counting replayed ones) — after whatever checkpoints were already
+    written, mid-open-window — and prints nothing. Otherwise prints
+    ``{"snapshot", "estimates", "events"}`` as sorted JSON, so the
+    test (and the CI chaos smoke) can diff a murdered-and-restarted
+    consumer against an unkilled one.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"),
+)
+
+from repro.linkage import (  # noqa: E402
+    ThresholdClassifier,
+    default_product_comparator,
+)
+from repro.linkage.blocking import first_token_key  # noqa: E402
+from repro.recovery import RunStore  # noqa: E402
+from repro.streaming import (  # noqa: E402
+    CONFLICT_ATTRIBUTES,
+    DriftStreamConfig,
+    DriftWorld,
+    StreamingResolver,
+    WindowConfig,
+)
+
+#: The scenario under test: a mid-stream accuracy flip, so the
+#: checkpoint carries non-trivial tracker and monitor state.
+STREAM_CONFIG = DriftStreamConfig(
+    n_entities=10,
+    n_sources=5,
+    flip_at=12.0,
+    flip_source=0,
+    flip_to=0.2,
+    seed=11,
+)
+
+
+def build_resolver(root) -> StreamingResolver:
+    world = DriftWorld(STREAM_CONFIG)
+    return StreamingResolver(
+        key_functions=[first_token_key("name")],
+        comparator=default_product_comparator(),
+        classifier=ThresholdClassifier(0.72),
+        source_accuracies=world.accuracies_at(0.0),
+        window=WindowConfig(size=2.0),
+        decay=0.7,
+        tracked_attributes=CONFLICT_ATTRIBUTES,
+        checkpoint_store=RunStore(root, durable=False),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("root")
+    parser.add_argument("--windows", type=int, default=10)
+    parser.add_argument("--kill-after-record", type=int, default=None)
+    args = parser.parse_args()
+
+    resolver = build_resolver(args.root)
+    stream = iter(DriftWorld(STREAM_CONFIG).stream())
+    resolver.resume(stream)
+
+    def doomed(records):
+        for record in records:
+            yield record
+            if (
+                args.kill_after_record is not None
+                and resolver.consumed >= args.kill_after_record
+            ):
+                os._exit(137)
+
+    for _ in resolver.process(doomed(stream)):
+        if resolver.windows_closed >= args.windows:
+            break
+
+    print(
+        json.dumps(
+            {
+                "snapshot": resolver.snapshot(),
+                "estimates": resolver.estimates(),
+                "events": [event.to_json() for event in resolver.events],
+            },
+            sort_keys=True,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()
